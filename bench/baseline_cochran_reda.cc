@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The Sec. IV-C comparative baseline: Cochran & Reda's phase-detection
+ * thermal predictor (PCA + k-means phases + per-phase linear regression
+ * of future temperature) driving the same reactive threshold policy.
+ *
+ * Paper argument to reproduce: even with good temperature *prediction*,
+ * a temperature-threshold policy must stay conservative because
+ * temperature alone does not capture severity (MLTD); Boreas' direct
+ * severity prediction converts the same telemetry into more headroom.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "harness.hh"
+
+using namespace boreas;
+using namespace boreas::bench;
+
+int
+main()
+{
+    auto ctx = buildExperimentContext();
+    auto th00 = ctx->thController(0.0);
+    auto cr = ctx->crController();
+    auto ml05 = ctx->mlController(0.05);
+
+    // Temperature-prediction quality of the phase model on held-out
+    // workloads (its own objective).
+    DatasetConfig eval_cfg = datasetConfigFor(benchScale());
+    eval_cfg.intensityAugments = {1.0};
+    eval_cfg.walkSegments = 2;
+    const BuiltData eval = buildTrainingData(ctx->pipeline,
+                                             testWorkloads(), eval_cfg);
+    OnlineStats temp_err;
+    for (const auto &s : eval.phaseSamples) {
+        const double pred = ctx->trained.phaseModel.predictNextTemp(
+            s.counters, s.tempNow, s.freqIndex);
+        temp_err.add(std::abs(pred - s.tempNext));
+    }
+    std::printf("=== Cochran-Reda temperature prediction (unseen "
+                "workloads) ===\n");
+    std::printf("mean |T_pred - T_actual| : %.2f C over %zu samples\n",
+                temp_err.mean(), temp_err.count());
+    std::printf("max  |T_pred - T_actual| : %.2f C\n\n", temp_err.max());
+
+    // Closed-loop comparison on the test set.
+    TextTable table;
+    table.setHeader({"workload", "TH-00", "CochranReda", "ML05"});
+    OnlineStats th_norm, cr_norm, ml_norm;
+    int th_inc = 0, cr_inc = 0, ml_inc = 0;
+    for (const WorkloadSpec *w : testWorkloads()) {
+        const EvalRow th = evaluateController(ctx->pipeline, *w, *th00);
+        const EvalRow c = evaluateController(ctx->pipeline, *w, *cr);
+        const EvalRow ml = evaluateController(ctx->pipeline, *w, *ml05);
+        table.addRow({w->name, TextTable::num(th.normalized, 4),
+                      TextTable::num(c.normalized, 4),
+                      TextTable::num(ml.normalized, 4)});
+        th_norm.add(th.normalized);
+        cr_norm.add(c.normalized);
+        ml_norm.add(ml.normalized);
+        th_inc += th.incursions;
+        cr_inc += c.incursions;
+        ml_inc += ml.incursions;
+    }
+    std::printf("=== normalized average frequency (test set) ===\n");
+    table.print(std::cout);
+    std::printf("\nmeans: TH-00 %.4f (%d incursions) | CochranReda "
+                "%.4f (%d) | ML05 %.4f (%d)\n", th_norm.mean(), th_inc,
+                cr_norm.mean(), cr_inc, ml_norm.mean(), ml_inc);
+    std::printf("paper argument: severity prediction (ML05) "
+                "outperforms temperature prediction (Cochran-Reda) "
+                "under the same reliability budget\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reproduction of Fig. 1: Hotspot-Severity as a function of absolute
+ * temperature and MLTD.
+ *
+ * Paper anchor conditions to reproduce (severity exactly 1.0 at):
+ *   (115 C, MLTD  0)  — uniformly hot chip,
+ *   ( 95 C, MLTD 20)  — intermediate,
+ *   ( 80 C, MLTD 40)  — advanced hotspot.
+ * The printed map marks the safe region ('.'), the 0.85-1.0 band ('+'),
+ * and the unsafe region ('#'), with the severity-1.0 contour following
+ * the critical-temperature curve.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hh"
+#include "hotspot/severity.hh"
+
+using namespace boreas;
+
+int
+main()
+{
+    SeverityModel model;
+
+    std::printf("=== Fig. 1 anchor conditions ===\n");
+    struct Anchor
+    {
+        Celsius t, m;
+    };
+    for (const Anchor &a :
+         {Anchor{115.0, 0.0}, Anchor{95.0, 20.0}, Anchor{80.0, 40.0}}) {
+        std::printf("severity(%.0f C, MLTD %.0f C) = %.6f (paper: "
+                    "1.0)\n", a.t, a.m, model.severity(a.t, a.m));
+    }
+
+    std::printf("\n=== severity map: rows = temperature, cols = MLTD "
+                "===\n");
+    std::printf("('.' < 0.85, '+' in [0.85, 1.0), '#' >= 1.0)\n\n");
+    std::printf("  T\\M |");
+    for (Celsius m = 0.0; m <= 50.0; m += 2.5)
+        std::printf("%s", " ");
+    std::printf("  0 C ... 50 C (2.5 C steps)\n");
+    for (Celsius t = 120.0; t >= 50.0; t -= 2.5) {
+        std::printf("%5.1f |", t);
+        for (Celsius m = 0.0; m <= 50.0; m += 2.5) {
+            const double sev = model.severity(t, m);
+            std::printf("%c", sev >= 1.0 ? '#' : sev >= 0.85 ? '+'
+                                                             : '.');
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\n=== the severity-1.0 contour (critical temperature "
+                "vs MLTD) ===\n");
+    TextTable contour;
+    contour.setHeader({"MLTD [C]", "T_crit [C]", "severity(T_crit)"});
+    for (Celsius m = 0.0; m <= 50.0; m += 5.0) {
+        const Celsius tc = model.criticalTemp(m);
+        contour.addRow({TextTable::num(m, 1), TextTable::num(tc, 1),
+                        TextTable::num(model.severity(tc, m), 4)});
+    }
+    contour.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Reproduction of Fig. 7 (and the abstract's headline numbers):
+ * average frequency of every unseen (test) workload under each model,
+ * normalized to the 3.75 GHz globally-safe baseline.
+ *
+ * Paper shape to reproduce:
+ *   - TH-00 improves ~5.7% over the baseline with no incursions;
+ *   - ML00 is fastest but has hotspot incursions (unreliable);
+ *   - ML10 is safe but conservative (can lose to TH, e.g. on hmmer);
+ *   - ML05 is the sweet spot: ~4.5% over TH-00 on average (up to
+ *     ~9.6% on bzip2) with zero incursions.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "harness.hh"
+
+using namespace boreas;
+using namespace boreas::bench;
+
+int
+main()
+{
+    auto ctx = buildExperimentContext();
+
+    auto th00 = ctx->thController(0.0);
+    auto ml00 = ctx->mlController(0.0);
+    auto ml05 = ctx->mlController(0.05);
+    auto ml10 = ctx->mlController(0.10);
+    auto cr = ctx->crController();
+    FixedFrequencyController global("baseline-3.75", kBaselineFrequency);
+
+    std::vector<FrequencyController *> models{
+        &global, th00.get(), cr.get(), ml00.get(), ml05.get(),
+        ml10.get()};
+
+    TextTable table;
+    table.setHeader({"workload", "model", "avg GHz", "vs 3.75",
+                     "peak sev", "incursions"});
+
+    std::map<std::string, OnlineStats> norm_by_model;
+    std::map<std::string, int> incursions_by_model;
+    std::map<std::string, double> ml05_vs_th;
+
+    for (const WorkloadSpec *w : testWorkloads()) {
+        double th_norm = 1.0, ml05_norm = 1.0;
+        for (FrequencyController *m : models) {
+            const EvalRow row =
+                evaluateController(ctx->pipeline, *w, *m);
+            table.addRow({row.workload, row.controller,
+                          TextTable::num(row.avgFreq, 3),
+                          TextTable::num(row.normalized, 4),
+                          TextTable::num(row.peakSeverity, 3),
+                          std::to_string(row.incursions)});
+            norm_by_model[row.controller].add(row.normalized);
+            incursions_by_model[row.controller] += row.incursions;
+            if (row.controller == std::string("TH-00"))
+                th_norm = row.normalized;
+            if (row.controller == std::string("ML05"))
+                ml05_norm = row.normalized;
+        }
+        ml05_vs_th[w->name] = ml05_norm / th_norm - 1.0;
+    }
+
+    std::printf("=== Fig. 7: per-workload normalized average frequency "
+                "(test set) ===\n");
+    table.print(std::cout);
+
+    std::printf("\n=== Fig. 7 summary (mean over unseen workloads) "
+                "===\n");
+    TextTable summary;
+    summary.setHeader({"model", "mean vs 3.75", "total incursions"});
+    for (const auto &[model, stats] : norm_by_model) {
+        summary.addRow({model, TextTable::num(stats.mean(), 4),
+                        std::to_string(incursions_by_model[model])});
+    }
+    summary.print(std::cout);
+
+    const double th = norm_by_model["TH-00"].mean();
+    const double ml05m = norm_by_model["ML05"].mean();
+    double best_gain = 0.0;
+    std::string best_wl;
+    for (const auto &[wl, gain] : ml05_vs_th) {
+        if (gain > best_gain) {
+            best_gain = gain;
+            best_wl = wl;
+        }
+    }
+
+    std::printf("\n=== headline comparison ===\n");
+    std::printf("TH-00 over baseline : measured %+.1f%%   (paper: "
+                "+5.7%%)\n", (th - 1.0) * 100.0);
+    std::printf("ML05 over TH-00     : measured %+.1f%%   (paper: "
+                "+4.5%% avg)\n", (ml05m / th - 1.0) * 100.0);
+    std::printf("best ML05 gain      : measured %+.1f%% on %s "
+                "(paper: +9.6%% on bzip2)\n", best_gain * 100.0,
+                best_wl.c_str());
+    std::printf("ML05 incursions     : %d (paper: 0)\n",
+                incursions_by_model["ML05"]);
+    std::printf("ML00 incursions     : %d (paper: >0, unreliable)\n",
+                incursions_by_model["ML00"]);
+    return 0;
+}

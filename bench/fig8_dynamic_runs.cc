@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reproduction of Fig. 8: dynamic runs of all seven unseen (test)
+ * workloads for 150 timesteps (12 ms) under TH-00 and Boreas (ML05).
+ *
+ * Paper shape to reproduce: Boreas holds frequencies at or one-two
+ * steps above the thermal model on every test workload except hmmer,
+ * while severity stays below 1.0 throughout.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hh"
+#include "harness.hh"
+
+using namespace boreas;
+using namespace boreas::bench;
+
+int
+main()
+{
+    auto ctx = buildExperimentContext();
+    auto th00 = ctx->thController(0.0);
+    auto ml05 = ctx->mlController(0.05);
+
+    for (const WorkloadSpec *w : testWorkloads()) {
+        const RunResult th_run = ctx->pipeline.runWithController(
+            *w, kBenchSeed, *th00, kBaselineFrequency);
+        const RunResult ml_run = ctx->pipeline.runWithController(
+            *w, kBenchSeed, *ml05, kBaselineFrequency);
+
+        std::printf("=== Fig. 8: %s ===\n", w->name.c_str());
+        TextTable series;
+        series.setHeader({"ms", "TH-00 GHz", "TH-00 sev", "ML05 GHz",
+                          "ML05 sev"});
+        for (int s = 0; s < kTraceSteps; s += 6) {
+            series.addRow({
+                TextTable::num(s * kTelemetryStep * 1e3, 2),
+                TextTable::num(th_run.steps[s].frequency, 2),
+                TextTable::num(th_run.steps[s].severity.maxSeverity,
+                               3),
+                TextTable::num(ml_run.steps[s].frequency, 2),
+                TextTable::num(ml_run.steps[s].severity.maxSeverity,
+                               3),
+            });
+        }
+        series.print(std::cout);
+        std::printf("summary: TH-00 avg %.3f GHz (peak sev %.3f, "
+                    "%d incursions) | ML05 avg %.3f GHz (peak sev "
+                    "%.3f, %d incursions)\n\n",
+                    th_run.averageFrequency(), th_run.peakSeverity(),
+                    th_run.incursionSteps(), ml_run.averageFrequency(),
+                    ml_run.peakSeverity(), ml_run.incursionSteps());
+    }
+    return 0;
+}

@@ -1,0 +1,126 @@
+#include "harness.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace boreas::bench
+{
+
+Scale
+benchScale()
+{
+    const char *env = std::getenv("BOREAS_BENCH_SCALE");
+    if (env == nullptr)
+        return Scale::Full;
+    if (std::strcmp(env, "small") == 0)
+        return Scale::Small;
+    if (std::strcmp(env, "paper") == 0)
+        return Scale::Paper;
+    if (std::strcmp(env, "full") == 0)
+        return Scale::Full;
+    boreas_fatal("BOREAS_BENCH_SCALE must be small|full|paper, got '%s'",
+                 env);
+}
+
+DatasetConfig
+datasetConfigFor(Scale scale)
+{
+    DatasetConfig cfg;
+    cfg.baseSeed = kBenchSeed;
+    switch (scale) {
+      case Scale::Small:
+        cfg.frequencies = {3.5, 3.75, 4.0, 4.25, 4.5, 4.75, 5.0};
+        cfg.constSegments = 1;
+        cfg.walkSegments = 2;
+        break;
+      case Scale::Full:
+        cfg.constSegments = 1;
+        cfg.walkSegments = 8;
+        break;
+      case Scale::Paper:
+        // ~20 workloads x 13 freqs x 10 segments x 138 instances
+        // ~ 360K const instances + walks: the 500K-instance class.
+        cfg.constSegments = 10;
+        cfg.walkSegments = 40;
+        break;
+    }
+    return cfg;
+}
+
+std::unique_ptr<BoreasController>
+ExperimentContext::mlController(double guardband) const
+{
+    const int pct = static_cast<int>(guardband * 100.0 + 0.5);
+    return std::make_unique<BoreasController>(
+        strfmt("ML%02d", pct), &trained.model, trained.featureNames,
+        guardband, kBestSensorIndex);
+}
+
+std::unique_ptr<ThermalThresholdController>
+ExperimentContext::thController(Celsius offset) const
+{
+    return std::make_unique<ThermalThresholdController>(
+        strfmt("TH-%02d", static_cast<int>(offset)), thTable, offset,
+        kBestSensorIndex);
+}
+
+std::unique_ptr<PhaseThermalController>
+ExperimentContext::crController() const
+{
+    return std::make_unique<PhaseThermalController>(
+        "CochranReda", &trained.phaseModel, thTable, 0.0,
+        kBestSensorIndex);
+}
+
+std::unique_ptr<ExperimentContext>
+buildExperimentContext()
+{
+    auto ctx = std::make_unique<ExperimentContext>();
+
+    const Scale scale = benchScale();
+    std::fprintf(stderr,
+                 "[bench] training Boreas (scale=%s)...\n",
+                 scale == Scale::Small ? "small"
+                 : scale == Scale::Paper ? "paper" : "full");
+
+    TrainerConfig tcfg;
+    tcfg.data = datasetConfigFor(scale);
+    ctx->trained = trainBoreas(ctx->pipeline, trainWorkloads(), tcfg);
+    std::fprintf(stderr, "[bench] trained on %zu instances\n",
+                 ctx->trained.trainData.numRows());
+
+    ctx->thTable = buildThTable(ctx->pipeline);
+    return ctx;
+}
+
+CriticalTempTable
+buildThTable(SimulationPipeline &pipeline)
+{
+    std::fprintf(stderr, "[bench] deriving TH critical temps...\n");
+    const CriticalTempStudy study = criticalTempStudy(
+        pipeline, trainWorkloads(), pipeline.vfTable().frequencies(),
+        kBestSensorIndex, kBenchSeed);
+    return study.globalTable();
+}
+
+EvalRow
+evaluateController(SimulationPipeline &pipeline,
+                   const WorkloadSpec &workload,
+                   FrequencyController &controller, uint64_t seed)
+{
+    const RunResult run = pipeline.runWithController(
+        workload, seed, controller, kBaselineFrequency);
+    EvalRow row;
+    row.workload = workload.name;
+    row.controller = controller.name();
+    row.avgFreq = run.averageFrequency();
+    row.normalized = row.avgFreq / kBaselineFrequency;
+    row.peakSeverity = run.peakSeverity();
+    row.incursions = run.incursionSteps();
+    return row;
+}
+
+} // namespace boreas::bench

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Shared setup for the paper-reproduction bench harnesses: the default
+ * pipeline, the full-scale training pass, the TH critical-temperature
+ * table, and the standard controller set (TH-00/05/10, ML00/05/10,
+ * oracle, global limit, Cochran-Reda).
+ *
+ * Scale control: set the environment variable BOREAS_BENCH_SCALE to
+ * "small" for a quick pass (fewer segments; minutes -> seconds) or
+ * "paper" for the 500K-instance-class dataset. Default is "full",
+ * which reproduces every figure's shape in a few minutes total.
+ */
+
+#ifndef BOREAS_BENCH_HARNESS_HH
+#define BOREAS_BENCH_HARNESS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "boreas/analysis.hh"
+#include "boreas/pipeline.hh"
+#include "boreas/trainer.hh"
+#include "control/boreas_controller.hh"
+#include "control/phase_thermal.hh"
+#include "control/static_controllers.hh"
+#include "control/thermal_controller.hh"
+#include "workload/spec2006.hh"
+
+namespace boreas::bench
+{
+
+/** Bench scale selected via BOREAS_BENCH_SCALE. */
+enum class Scale
+{
+    Small, ///< quick smoke (CI)
+    Full,  ///< default: full workload suite, reduced segments
+    Paper  ///< 500K-instance-class dataset
+};
+
+Scale benchScale();
+
+/** Seed shared by all benches so figures are cross-consistent. */
+constexpr uint64_t kBenchSeed = 2023;
+
+/** The DatasetConfig for a scale. */
+DatasetConfig datasetConfigFor(Scale scale);
+
+/** Everything the evaluation benches share. */
+struct ExperimentContext
+{
+    SimulationPipeline pipeline;
+    TrainedBoreas trained;
+    CriticalTempTable thTable;          ///< train-set global criticals
+
+    /** Guardbanded Boreas controller (name "ML00"/"ML05"/"ML10"). */
+    std::unique_ptr<BoreasController> mlController(double guardband) const;
+
+    /** Thermal controller with the given relaxation ("TH-00"...). */
+    std::unique_ptr<ThermalThresholdController>
+    thController(Celsius offset) const;
+
+    /** Cochran-Reda baseline controller. */
+    std::unique_ptr<PhaseThermalController> crController() const;
+};
+
+/**
+ * Build the shared context: train Boreas on the Table III training
+ * workloads and derive the TH table. Prints progress to stderr.
+ */
+std::unique_ptr<ExperimentContext> buildExperimentContext();
+
+/**
+ * Derive the TH critical-temperature table alone (for benches that do
+ * not need the trained ML model).
+ */
+CriticalTempTable buildThTable(SimulationPipeline &pipeline);
+
+/** One closed-loop evaluation row. */
+struct EvalRow
+{
+    std::string workload;
+    std::string controller;
+    double avgFreq = 0.0;      ///< GHz over the trace
+    double normalized = 0.0;   ///< avgFreq / 3.75 GHz baseline
+    double peakSeverity = 0.0;
+    int incursions = 0;
+};
+
+/** Run one controller on one workload and summarize. */
+EvalRow evaluateController(SimulationPipeline &pipeline,
+                           const WorkloadSpec &workload,
+                           FrequencyController &controller,
+                           uint64_t seed = kBenchSeed);
+
+} // namespace boreas::bench
+
+#endif // BOREAS_BENCH_HARNESS_HH

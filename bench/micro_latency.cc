@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the hot paths backing the
+ * Sec. V-E overhead discussion: one GBT prediction, one controller
+ * decision, one thermal step, one MLTD/severity evaluation, and one
+ * full pipeline telemetry step.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "boreas/pipeline.hh"
+#include "boreas/trainer.hh"
+#include "control/boreas_controller.hh"
+#include "ml/feature_schema.hh"
+#include "workload/spec2006.hh"
+
+using namespace boreas;
+
+namespace
+{
+
+/** Shared state built once (training is expensive). */
+struct MicroState
+{
+    MicroState()
+    {
+        TrainerConfig cfg;
+        cfg.data.frequencies = {3.75, 4.25, 4.75};
+        cfg.data.walkSegments = 1;
+        cfg.gbt.nEstimators = 223; // the paper's deployed size
+        std::vector<const WorkloadSpec *> train{
+            &findWorkload("povray"), &findWorkload("gromacs"),
+            &findWorkload("sjeng"), &findWorkload("mcf")};
+        trained = trainBoreas(pipeline, train, cfg);
+        pipeline.start(findWorkload("bzip2"), 1);
+    }
+
+    SimulationPipeline pipeline;
+    TrainedBoreas trained;
+};
+
+MicroState &
+state()
+{
+    static MicroState s;
+    return s;
+}
+
+} // namespace
+
+static void
+BM_GBTPrediction(benchmark::State &bm)
+{
+    MicroState &s = state();
+    std::vector<double> x(s.trained.model.numFeatures(), 0.5);
+    for (auto _ : bm)
+        benchmark::DoNotOptimize(s.trained.model.predict(x.data()));
+}
+BENCHMARK(BM_GBTPrediction);
+
+static void
+BM_ControllerDecision(benchmark::State &bm)
+{
+    MicroState &s = state();
+    BoreasController ml05("ML05", &s.trained.model,
+                          s.trained.featureNames, 0.05,
+                          kBestSensorIndex);
+    CounterSet counters;
+    counters[Counter::TotalCycles] = 320000;
+    DecisionContext ctx;
+    ctx.currentFreq = 4.0;
+    ctx.counters = &counters;
+    ctx.sensorReadings.assign(7, 75.0);
+    ctx.vf = &s.pipeline.vfTable();
+    for (auto _ : bm)
+        benchmark::DoNotOptimize(ml05.decide(ctx));
+}
+BENCHMARK(BM_ControllerDecision);
+
+static void
+BM_ThermalStep80us(benchmark::State &bm)
+{
+    const Floorplan fp = buildSkylakeFloorplan();
+    ThermalGrid grid(fp, ThermalParams{});
+    std::vector<Watts> power(fp.numUnits(), 0.5);
+    grid.setUnitPower(power);
+    for (auto _ : bm)
+        grid.step(kTelemetryStep);
+}
+BENCHMARK(BM_ThermalStep80us);
+
+static void
+BM_SeverityEvaluation(benchmark::State &bm)
+{
+    MicroState &s = state();
+    const ThermalGrid &grid = s.pipeline.thermalGrid();
+    const SeverityModel &model = s.pipeline.severityModel();
+    const Meters cell =
+        s.pipeline.floorplan().dieWidth() / grid.nx();
+    for (auto _ : bm) {
+        benchmark::DoNotOptimize(model.evaluate(
+            grid.siliconTemps(), grid.nx(), grid.ny(), cell));
+    }
+}
+BENCHMARK(BM_SeverityEvaluation);
+
+static void
+BM_PipelineTelemetryStep(benchmark::State &bm)
+{
+    MicroState &s = state();
+    for (auto _ : bm)
+        benchmark::DoNotOptimize(s.pipeline.step(4.0));
+}
+BENCHMARK(BM_PipelineTelemetryStep);
+
+static void
+BM_SteadyStateSolve(benchmark::State &bm)
+{
+    const Floorplan fp = buildSkylakeFloorplan();
+    ThermalParams params;
+    params.nx = 32;
+    params.ny = 32;
+    ThermalGrid grid(fp, params);
+    std::vector<Watts> power(fp.numUnits(), 0.5);
+    grid.setUnitPower(power);
+    for (auto _ : bm) {
+        grid.reset(kAmbient);
+        benchmark::DoNotOptimize(grid.solveSteadyState());
+    }
+}
+BENCHMARK(BM_SteadyStateSolve);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Reproduction of Sec. V-E (overhead analysis): the deployed model's
+ * memory footprint and per-prediction operation counts.
+ *
+ * Paper numbers to reproduce: 223 trees x depth 3, full-tree 32-bit
+ * accounting < 14 KB; 669 comparisons + 222 additions ~= 1000
+ * operations per serial prediction (parallelizable by issue width).
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+using namespace boreas;
+using namespace boreas::bench;
+
+int
+main()
+{
+    auto ctx = buildExperimentContext();
+    const GBTRegressor &model = ctx->trained.model;
+
+    std::printf("=== Sec. V-E: Boreas overhead analysis ===\n");
+    std::printf("trees                    : %zu (paper: 223)\n",
+                model.numTrees());
+    std::printf("max depth                : %d (paper: 3)\n",
+                model.params().maxDepth);
+    std::printf("model weights            : %zu bytes (paper: < 14 KB "
+                "= %d bytes budget)\n", model.modelBytes(), 14 * 1024);
+    std::printf("comparisons / prediction : %zu (paper: 669)\n",
+                model.comparisonsPerPrediction());
+    std::printf("additions / prediction   : %zu (paper: 222)\n",
+                model.additionsPerPrediction());
+    std::printf("total ops / prediction   : %zu (paper: ~1000, serial "
+                "worst case)\n",
+                model.comparisonsPerPrediction() +
+                    model.additionsPerPrediction());
+
+    const int issue_width = 4;
+    std::printf("with issue width %d       : ~%zu cycles equivalent "
+                "(paper: latency / n)\n", issue_width,
+                (model.comparisonsPerPrediction() +
+                 model.additionsPerPrediction()) / issue_width);
+
+    // Fits-in-cache observation (Sec. V-E: "stored in lower level
+    // caches or its own scratch-pad").
+    std::printf("fits in a 32 KB L1D      : %s\n",
+                model.modelBytes() <= 32 * 1024 ? "yes" : "no");
+    return 0;
+}

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Reproduction of Table I: the VF operating points of the modeled 7 nm
+ * processor, plus the interpolated 250 MHz evaluation grid.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hh"
+#include "power/vf_table.hh"
+
+using namespace boreas;
+
+int
+main()
+{
+    VFTable vf;
+
+    std::printf("=== Table I: select VF pairs (paper anchors) ===\n");
+    TextTable anchors;
+    anchors.setHeader({"Frequency [GHz]", "Voltage [V]"});
+    for (const auto &[f, v] : VFTable::anchors())
+        anchors.addRow({TextTable::num(f, 2), TextTable::num(v, 2)});
+    anchors.print(std::cout);
+
+    std::printf("\n=== evaluation grid (250 MHz steps, Sec. III-A) "
+                "===\n");
+    TextTable grid;
+    grid.setHeader({"idx", "GHz", "V", "V^2*f (power proxy)"});
+    for (int i = 0; i < vf.numPoints(); ++i) {
+        const GHz f = vf.frequency(i);
+        const Volts v = vf.voltage(f);
+        grid.addRow({std::to_string(i), TextTable::num(f, 2),
+                     TextTable::num(v, 3), TextTable::num(v * v * f, 3)});
+    }
+    grid.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Reproduction of Tables II and III: the Boreas model configuration and
+ * the train/test workload split.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hh"
+#include "ml/gbt.hh"
+#include "workload/spec2006.hh"
+
+using namespace boreas;
+
+int
+main()
+{
+    std::printf("=== Table II: Boreas model parameters ===\n");
+    const GBTParams params; // defaults are the paper's configuration
+    std::printf("Hyperparameters: alpha=%.1f, gamma=%g, max_depth=%d, "
+                "n_estimators=%d\n", params.learningRate, params.gamma,
+                params.maxDepth, params.nEstimators);
+    std::printf("Features: temperature sensor data alongside "
+                "microarchitectural attributes (Table IV)\n");
+    std::printf("Dataset: instances extracted from the SPEC2006 "
+                "workloads below, every 80 us\n");
+
+    std::printf("\n=== Table III: train/test sets ===\n");
+    TextTable table;
+    table.setHeader({"set", "workload", "design-safe GHz"});
+    for (const auto *w : trainWorkloads())
+        table.addRow({"train", w->name,
+                      TextTable::num(designOracleFrequency(w->name), 2)});
+    for (const auto *w : testWorkloads())
+        table.addRow({"test", w->name,
+                      TextTable::num(designOracleFrequency(w->name), 2)});
+    table.print(std::cout);
+
+    std::printf("\ntrain workloads: %zu (paper: 20)\n",
+                trainWorkloads().size());
+    std::printf("test workloads:  %zu (paper: 7)\n",
+                testWorkloads().size());
+    return 0;
+}

@@ -1,0 +1,212 @@
+#include "arch/core_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace boreas
+{
+
+IntervalCore::IntervalCore(const CoreParams &params)
+    : params_(params)
+{
+    boreas_assert(params_.fetchWidth > 0 && params_.issueWidth > 0 &&
+                  params_.commitWidth > 0, "bad core widths");
+}
+
+double
+IntervalCore::effectiveCpi(const PhaseParams &phase, GHz freq) const
+{
+    boreas_assert(freq > 0.0, "bad frequency %f", freq);
+    const double per_ki = 1e-3;
+    // Off-core latencies are constant in wall-clock time, so their cycle
+    // cost scales with frequency.
+    const double l3_cycles = params_.l3LatencyNs * freq * 1e9;
+    const double mem_cycles = params_.memLatencyNs * freq * 1e9;
+    const double mlp = std::max(1.0, phase.mlp);
+
+    double cpi = phase.baseCpi;
+    cpi += phase.branchMpki * per_ki * params_.branchPenaltyCycles;
+    cpi += phase.l1iMpki * per_ki * params_.l2LatencyCycles;
+    cpi += phase.l1dMpki * per_ki * params_.l2LatencyCycles;
+    cpi += phase.l2Mpki * per_ki * l3_cycles / mlp;
+    cpi += phase.l3Mpki * per_ki * mem_cycles / mlp;
+    cpi += (phase.itlbMpki + phase.dtlbMpki) * per_ki *
+        params_.tlbPenaltyCycles;
+    return cpi;
+}
+
+double
+IntervalCore::instructionsPerSecond(const PhaseParams &phase,
+                                    GHz freq) const
+{
+    return freq * 1e9 / effectiveCpi(phase, freq);
+}
+
+CounterSet
+IntervalCore::step(const PhaseParams &phase, GHz freq, Seconds dt,
+                   Rng &rng) const
+{
+    CounterSet c;
+
+    const double cycles = freq * 1e9 * dt;
+    const double cpi = effectiveCpi(phase, freq);
+
+    // Multiplicative activity noise models the short-term burstiness of
+    // real instruction streams that the phase mean abstracts away.
+    double noise = 1.0;
+    if (phase.activityNoise > 0.0) {
+        noise = std::exp(rng.normal(0.0, phase.activityNoise));
+        noise = std::clamp(noise, 0.5, 1.6);
+    }
+
+    const double committed =
+        std::min(cycles * params_.commitWidth, cycles / cpi * noise);
+    const double ki = committed * 1e-3;
+
+    const double int_frac = std::max(
+        0.0, 1.0 - phase.fpFraction - phase.mulFraction);
+    const double committed_int = committed * int_frac;
+    const double committed_fp = committed * phase.fpFraction;
+    const double committed_mul = committed * phase.mulFraction;
+    const double loads = committed * phase.loadFraction;
+    const double stores = committed * phase.storeFraction;
+    const double branches = committed * phase.branchFraction;
+
+    const double fetched = committed * params_.wrongPathFactor;
+    // Execution-engine churn scales with the phase's intensity: the
+    // same committed stream can expand into more uops, wakeups and
+    // functional-unit events (see PhaseParams::intensity).
+    const double isc = std::max(0.0, phase.intensity);
+    const double uops = committed * params_.uopExpansion * isc;
+
+    // Busy cycles: cycles in which at least one uop dispatched. Approximate
+    // with the dispatch occupancy implied by base CPI plus a floor for
+    // miss-shadow activity.
+    const double dispatch_util = std::min(
+        1.0, (committed * phase.baseCpi) / cycles + 0.08);
+    const double busy = cycles * dispatch_util;
+
+    c[Counter::TotalCycles] = cycles;
+    c[Counter::BusyCycles] = busy;
+    c[Counter::IdleCycles] = cycles - busy;
+
+    c[Counter::CommittedInstructions] = committed;
+    c[Counter::CommittedIntInstructions] = committed_int;
+    c[Counter::CommittedFpInstructions] = committed_fp;
+    c[Counter::CommittedBranchInstructions] = branches;
+    c[Counter::CommittedLoadInstructions] = loads;
+    c[Counter::CommittedStoreInstructions] = stores;
+    c[Counter::CommittedMulInstructions] = committed_mul;
+
+    c[Counter::FetchedInstructions] = fetched;
+    c[Counter::DecodeStallCycles] = cycles - busy;
+    c[Counter::UopsIssued] = uops;
+
+    const double mispredictions = phase.branchMpki * ki;
+    c[Counter::PipelineFlushes] = mispredictions;
+
+    // Rename/ROB/issue bookkeeping tracks the uop stream.
+    c[Counter::RenameReads] = uops * 2.0;      // two sources per uop
+    c[Counter::RenameWrites] = uops;           // one dest per uop
+    c[Counter::FpRenameReads] = committed_fp * params_.uopExpansion * 2.0;
+    c[Counter::FpRenameWrites] = committed_fp * params_.uopExpansion;
+    c[Counter::RatReadAccesses] = uops * 2.0;
+    c[Counter::RatWriteAccesses] = uops;
+    c[Counter::RobReads] = uops;
+    c[Counter::RobWrites] = uops;
+    c[Counter::InstWindowReads] = uops;
+    c[Counter::InstWindowWrites] = uops;
+    c[Counter::InstWindowWakeups] = uops * 2.0;
+    const double fp_uops = committed_fp * params_.uopExpansion * isc;
+    c[Counter::FpInstWindowReads] = fp_uops;
+    c[Counter::FpInstWindowWrites] = fp_uops;
+    c[Counter::FpInstWindowWakeups] = fp_uops * 2.0;
+
+    c[Counter::IntRegfileReads] =
+        (committed_int + committed_mul) * 1.6 * isc;
+    c[Counter::IntRegfileWrites] =
+        (committed_int + committed_mul) * 0.8 * isc;
+    c[Counter::FpRegfileReads] = committed_fp * 1.8 * isc;
+    c[Counter::FpRegfileWrites] = committed_fp * 0.9 * isc;
+
+    // Execution: ALU ops are int minus the memory-address-only fraction
+    // handled in the AGUs (counted under LSU).
+    const double alu_ops = (std::max(
+        0.0, committed_int - loads - stores) + branches * 0.5) * isc;
+    c[Counter::IaluAccesses] = alu_ops;
+    c[Counter::MulAccesses] = committed_mul * isc;
+    c[Counter::FpuAccesses] = committed_fp * isc;
+    // Common-data-bus writebacks: one per producing uop.
+    c[Counter::CdbAluAccesses] = alu_ops;
+    c[Counter::CdbMulAccesses] = committed_mul * isc;
+    c[Counter::CdbFpuAccesses] = committed_fp * isc;
+
+    auto duty = [&](double events, double per_cycle_capacity) {
+        return std::min(1.0, events / (cycles * per_cycle_capacity));
+    };
+    c[Counter::AluDutyCycle] = duty(alu_ops, 3.0);            // 3 ports
+    c[Counter::MulDutyCycle] = duty(committed_mul * isc, 1.0); // 1 port
+    c[Counter::FpuDutyCycle] = duty(committed_fp * isc, 2.0);  // 2 ports
+    c[Counter::AluCdbDutyCycle] = c[Counter::AluDutyCycle];
+    c[Counter::MulCdbDutyCycle] = c[Counter::MulDutyCycle];
+    c[Counter::FpuCdbDutyCycle] = c[Counter::FpuDutyCycle];
+    c[Counter::IfuDutyCycle] = duty(fetched, params_.fetchWidth);
+    c[Counter::LsuDutyCycle] = duty(loads + stores, 2.0);
+    c[Counter::ExuDutyCycle] = duty(
+        alu_ops + (committed_mul + committed_fp) * isc,
+        params_.issueWidth);
+
+    const double icache_accesses = fetched / params_.fetchWidth;
+    const double icache_misses = phase.l1iMpki * ki;
+    c[Counter::MemManUIDutyCycle] = duty(icache_accesses, 1.0);
+    c[Counter::MemManUDDutyCycle] = duty(loads + stores, 2.0);
+
+    c[Counter::BranchInstructions] = branches;
+    c[Counter::BranchMispredictions] = mispredictions;
+    c[Counter::BtbReadAccesses] = branches;
+    c[Counter::BtbWriteAccesses] = mispredictions;
+    c[Counter::PredictorLookups] = branches;
+
+    c[Counter::IcacheReadAccesses] = icache_accesses;
+    c[Counter::IcacheReadMisses] = icache_misses;
+
+    const double dcache_read_misses = phase.l1dMpki * ki;
+    c[Counter::DcacheReadAccesses] = loads;
+    c[Counter::DcacheReadMisses] = std::min(loads, dcache_read_misses);
+    c[Counter::DcacheWriteAccesses] = stores;
+    c[Counter::DcacheWriteMisses] =
+        std::min(stores, dcache_read_misses * 0.3);
+
+    const double l2_accesses = dcache_read_misses + icache_misses +
+        c[Counter::DcacheWriteMisses];
+    const double l2_misses = std::min(l2_accesses, phase.l2Mpki * ki);
+    c[Counter::L2ReadAccesses] = l2_accesses * 0.8;
+    c[Counter::L2ReadMisses] = l2_misses * 0.8;
+    c[Counter::L2WriteAccesses] = l2_accesses * 0.2;
+    c[Counter::L2WriteMisses] = l2_misses * 0.2;
+
+    const double l3_accesses = l2_misses;
+    const double l3_misses = std::min(l3_accesses, phase.l3Mpki * ki);
+    c[Counter::L3ReadAccesses] = l3_accesses;
+    c[Counter::L3ReadMisses] = l3_misses;
+
+    c[Counter::ItlbTotalAccesses] = icache_accesses;
+    c[Counter::ItlbTotalMisses] =
+        std::min(icache_accesses, phase.itlbMpki * ki);
+    c[Counter::DtlbTotalAccesses] = loads + stores;
+    c[Counter::DtlbTotalMisses] =
+        std::min(loads + stores, phase.dtlbMpki * ki);
+
+    c[Counter::LoadQueueReads] = loads;
+    c[Counter::LoadQueueWrites] = loads;
+    c[Counter::StoreQueueReads] = loads * 0.3 + stores;
+    c[Counter::StoreQueueWrites] = stores;
+    c[Counter::MemoryReads] = l3_misses;
+    c[Counter::MemoryWrites] = l3_misses * 0.4;
+
+    return c;
+}
+
+} // namespace boreas

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Interval-analysis out-of-order core model.
+ *
+ * The paper's substrate (Sniper) is itself an interval simulator: it
+ * computes a base dispatch throughput and charges penalties for "miss
+ * events" (branch mispredictions, cache/TLB misses). Boreas only consumes
+ * the per-80us counter telemetry, so this module implements exactly that
+ * level of modelling: given a workload phase's statistical profile and the
+ * operating frequency, it produces one CounterSet per telemetry step.
+ *
+ * Frequency dependence is physical: memory and L3 latencies are fixed in
+ * nanoseconds, so the cycle cost of off-core misses grows with frequency.
+ * Memory-bound phases therefore gain little IPS from higher clocks while
+ * compute-bound phases scale nearly linearly — which is what differentiates
+ * workload power/thermal response across the VF range.
+ */
+
+#ifndef BOREAS_ARCH_CORE_MODEL_HH
+#define BOREAS_ARCH_CORE_MODEL_HH
+
+#include "arch/counters.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace boreas
+{
+
+/** Statistical profile of one workload phase (rates per kilo-instruction,
+ *  fractions of the committed mix, and the phase's intrinsic ILP). */
+struct PhaseParams
+{
+    /** Ideal cycles-per-instruction absent miss events (>= 1/width). */
+    double baseCpi = 0.4;
+
+    // Committed instruction mix (fractions of committed instructions).
+    double fpFraction = 0.05;     ///< FP/SIMD ops
+    double mulFraction = 0.02;    ///< integer multiply/divide
+    double loadFraction = 0.25;
+    double storeFraction = 0.10;
+    double branchFraction = 0.15;
+
+    // Miss-event rates, events per kilo-instruction.
+    double branchMpki = 5.0;   ///< mispredictions
+    double l1iMpki = 1.0;      ///< L1I misses
+    double l1dMpki = 10.0;     ///< L1D misses (to L2)
+    double l2Mpki = 2.0;       ///< L2 misses (to L3)
+    double l3Mpki = 0.5;       ///< L3 misses (to memory)
+    double itlbMpki = 0.2;
+    double dtlbMpki = 1.0;
+
+    /** Memory-level parallelism: effective divisor on off-core latency. */
+    double mlp = 2.0;
+
+    /** Relative per-step lognormal-ish activity noise (0 = deterministic). */
+    double activityNoise = 0.03;
+
+    /**
+     * Relative per-step noise on the dynamic energy per event, on top
+     * of `intensity`. Models data-dependent switching activity: the
+     * same counter vector dissipates varying power step to step. The
+     * counters cannot see it — only the thermal telemetry integrates
+     * it — which is one reason temperature is the dominant predictor.
+     */
+    double intensityNoise = 0.06;
+
+    /**
+     * Execution-engine activity multiplier: scales the out-of-order
+     * engine's event counters (uops, wakeups, rename/ROB traffic, ALU /
+     * MUL / FPU accesses) relative to the committed-instruction stream.
+     * It models micro-op amplification and speculative execution-cluster
+     * churn, which differ per binary. Because the scaled counters are
+     * exactly what the power model charges, per-workload power remains
+     * fully observable from telemetry — the property the paper's
+     * counter-driven predictor depends on. The per-workload
+     * thermalScale calibration folds into this knob.
+     */
+    double intensity = 1.0;
+};
+
+/** Microarchitectural configuration of the modeled Skylake-like core. */
+struct CoreParams
+{
+    int fetchWidth = 4;
+    int issueWidth = 4;
+    int commitWidth = 4;
+
+    double branchPenaltyCycles = 14.0; ///< pipeline refill on mispredict
+    double l2LatencyCycles = 12.0;     ///< L1 miss, L2 hit (core cycles)
+    Seconds l3LatencyNs = 10e-9;       ///< L2 miss, L3 hit (wall-clock)
+    Seconds memLatencyNs = 80e-9;      ///< L3 miss to DRAM (wall-clock)
+    double tlbPenaltyCycles = 20.0;    ///< page-walk cost
+
+    /** Wrong-path fetch inflation on the fetched-instruction stream. */
+    double wrongPathFactor = 1.12;
+    /** Micro-op expansion of the committed instruction stream. */
+    double uopExpansion = 1.1;
+};
+
+/**
+ * The per-interval core model. Stateless across calls except for the
+ * caller-provided Rng; all phase state lives in the workload layer.
+ */
+class IntervalCore
+{
+  public:
+    explicit IntervalCore(const CoreParams &params = {});
+
+    const CoreParams &params() const { return params_; }
+
+    /**
+     * Effective cycles-per-instruction for a phase at a frequency,
+     * without noise. Exposed for tests and for the oracle analyses.
+     */
+    double effectiveCpi(const PhaseParams &phase, GHz freq) const;
+
+    /**
+     * Instructions retired per second for a phase at a frequency
+     * (the performance metric behind "most performant VF point").
+     */
+    double instructionsPerSecond(const PhaseParams &phase, GHz freq) const;
+
+    /**
+     * Simulate one telemetry interval of the given length and produce
+     * the full counter set. Noise perturbs the phase's activity level
+     * around its mean; all derived counters stay self-consistent (e.g.
+     * committed <= fetched, misses <= accesses).
+     *
+     * @param phase statistical profile currently executing
+     * @param freq core clock in GHz
+     * @param dt interval length in seconds (normally kTelemetryStep)
+     * @param rng noise source (deterministic per caller stream)
+     */
+    CounterSet step(const PhaseParams &phase, GHz freq, Seconds dt,
+                    Rng &rng) const;
+
+  private:
+    CoreParams params_;
+};
+
+} // namespace boreas
+
+#endif // BOREAS_ARCH_CORE_MODEL_HH

@@ -1,0 +1,53 @@
+#include "arch/counters.hh"
+
+#include "common/logging.hh"
+
+namespace boreas
+{
+
+namespace
+{
+
+const char *const kCounterNames[] = {
+#define BOREAS_COUNTER_NAME(id, name) name,
+    BOREAS_COUNTER_LIST(BOREAS_COUNTER_NAME)
+#undef BOREAS_COUNTER_NAME
+};
+
+static_assert(sizeof(kCounterNames) / sizeof(kCounterNames[0]) ==
+              kNumCounters, "counter name table out of sync");
+
+} // namespace
+
+const char *
+counterName(Counter c)
+{
+    const auto idx = static_cast<size_t>(c);
+    boreas_assert(idx < kNumCounters, "bad counter id %zu", idx);
+    return kCounterNames[idx];
+}
+
+Counter
+counterFromName(const std::string &name)
+{
+    for (size_t i = 0; i < kNumCounters; ++i)
+        if (name == kCounterNames[i])
+            return static_cast<Counter>(i);
+    boreas_panic("unknown counter name '%s'", name.c_str());
+}
+
+void
+CounterSet::accumulate(const CounterSet &other)
+{
+    for (size_t i = 0; i < kNumCounters; ++i)
+        values[i] += other.values[i];
+}
+
+void
+CounterSet::scale(double factor)
+{
+    for (auto &v : values)
+        v *= factor;
+}
+
+} // namespace boreas

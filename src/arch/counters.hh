@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The hardware-telemetry counter schema.
+ *
+ * Boreas consumes 78 "system attributes" per 80 us interval (Sec. IV-B):
+ * this module defines the 76 microarchitectural counters; the remaining
+ * two attributes — temperature_sensor_data and the commanded frequency —
+ * are appended at feature-vector assembly time (see ml/feature_schema).
+ *
+ * Counter names follow the paper's Table IV / McPAT conventions
+ * (e.g. "ROB_reads", "cdb_alu_accesses", "MUL_cdb_duty_cycle") so that the
+ * reproduced feature-importance table keys match the paper verbatim.
+ */
+
+#ifndef BOREAS_ARCH_COUNTERS_HH
+#define BOREAS_ARCH_COUNTERS_HH
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace boreas
+{
+
+/**
+ * X-macro master list keeping the enum and the name table in sync.
+ * Order is stable; it defines dataset column order.
+ */
+#define BOREAS_COUNTER_LIST(X) \
+    X(TotalCycles, "total_cycles") \
+    X(BusyCycles, "busy_cycles") \
+    X(IdleCycles, "idle_cycles") \
+    X(CommittedInstructions, "committed_instructions") \
+    X(CommittedIntInstructions, "committed_int_instructions") \
+    X(CommittedFpInstructions, "committed_fp_instructions") \
+    X(CommittedBranchInstructions, "committed_branch_instructions") \
+    X(CommittedLoadInstructions, "committed_load_instructions") \
+    X(CommittedStoreInstructions, "committed_store_instructions") \
+    X(CommittedMulInstructions, "committed_mul_instructions") \
+    X(FetchedInstructions, "fetched_instructions") \
+    X(DecodeStallCycles, "decode_stall_cycles") \
+    X(UopsIssued, "uops_issued") \
+    X(PipelineFlushes, "pipeline_flushes") \
+    X(RenameReads, "rename_reads") \
+    X(RenameWrites, "rename_writes") \
+    X(FpRenameReads, "fp_rename_reads") \
+    X(FpRenameWrites, "fp_rename_writes") \
+    X(RatReadAccesses, "RAT_read_accesses") \
+    X(RatWriteAccesses, "RAT_write_accesses") \
+    X(RobReads, "ROB_reads") \
+    X(RobWrites, "ROB_writes") \
+    X(InstWindowReads, "inst_window_reads") \
+    X(InstWindowWrites, "inst_window_writes") \
+    X(InstWindowWakeups, "inst_window_wakeup_accesses") \
+    X(FpInstWindowReads, "fp_inst_window_reads") \
+    X(FpInstWindowWrites, "fp_inst_window_writes") \
+    X(FpInstWindowWakeups, "fp_inst_window_wakeup_accesses") \
+    X(IntRegfileReads, "int_regfile_reads") \
+    X(IntRegfileWrites, "int_regfile_writes") \
+    X(FpRegfileReads, "fp_regfile_reads") \
+    X(FpRegfileWrites, "fp_regfile_writes") \
+    X(CdbAluAccesses, "cdb_alu_accesses") \
+    X(CdbMulAccesses, "cdb_mul_accesses") \
+    X(CdbFpuAccesses, "cdb_fpu_accesses") \
+    X(IaluAccesses, "ialu_accesses") \
+    X(MulAccesses, "mul_accesses") \
+    X(FpuAccesses, "fpu_accesses") \
+    X(AluDutyCycle, "ALU_duty_cycle") \
+    X(MulDutyCycle, "MUL_duty_cycle") \
+    X(FpuDutyCycle, "FPU_duty_cycle") \
+    X(AluCdbDutyCycle, "ALU_cdb_duty_cycle") \
+    X(MulCdbDutyCycle, "MUL_cdb_duty_cycle") \
+    X(FpuCdbDutyCycle, "FPU_cdb_duty_cycle") \
+    X(IfuDutyCycle, "IFU_duty_cycle") \
+    X(LsuDutyCycle, "LSU_duty_cycle") \
+    X(ExuDutyCycle, "EXU_duty_cycle") \
+    X(MemManUIDutyCycle, "MemManU_I_duty_cycle") \
+    X(MemManUDDutyCycle, "MemManU_D_duty_cycle") \
+    X(BranchInstructions, "branch_instructions") \
+    X(BranchMispredictions, "branch_mispredictions") \
+    X(BtbReadAccesses, "BTB_read_accesses") \
+    X(BtbWriteAccesses, "BTB_write_accesses") \
+    X(PredictorLookups, "predictor_lookups") \
+    X(IcacheReadAccesses, "icache_read_accesses") \
+    X(IcacheReadMisses, "icache_read_misses") \
+    X(DcacheReadAccesses, "dcache_read_accesses") \
+    X(DcacheReadMisses, "dcache_read_misses") \
+    X(DcacheWriteAccesses, "dcache_write_accesses") \
+    X(DcacheWriteMisses, "dcache_write_misses") \
+    X(L2ReadAccesses, "l2_read_accesses") \
+    X(L2ReadMisses, "l2_read_misses") \
+    X(L2WriteAccesses, "l2_write_accesses") \
+    X(L2WriteMisses, "l2_write_misses") \
+    X(L3ReadAccesses, "l3_read_accesses") \
+    X(L3ReadMisses, "l3_read_misses") \
+    X(ItlbTotalAccesses, "itlb_total_accesses") \
+    X(ItlbTotalMisses, "itlb_total_misses") \
+    X(DtlbTotalAccesses, "dtlb_total_accesses") \
+    X(DtlbTotalMisses, "dtlb_total_misses") \
+    X(LoadQueueReads, "load_queue_reads") \
+    X(LoadQueueWrites, "load_queue_writes") \
+    X(StoreQueueReads, "store_queue_reads") \
+    X(StoreQueueWrites, "store_queue_writes") \
+    X(MemoryReads, "memory_reads") \
+    X(MemoryWrites, "memory_writes")
+
+/** Microarchitectural counter identifiers. */
+enum class Counter : int
+{
+#define BOREAS_COUNTER_ENUM(id, name) id,
+    BOREAS_COUNTER_LIST(BOREAS_COUNTER_ENUM)
+#undef BOREAS_COUNTER_ENUM
+    NumCounters
+};
+
+constexpr size_t kNumCounters = static_cast<size_t>(Counter::NumCounters);
+
+/** Paper-style name of a counter ("ROB_reads", ...). */
+const char *counterName(Counter c);
+
+/** Counter from its paper-style name; panics on an unknown name. */
+Counter counterFromName(const std::string &name);
+
+/** One interval's worth of telemetry: a value per counter. */
+struct CounterSet
+{
+    std::array<double, kNumCounters> values{};
+
+    double &operator[](Counter c)
+    {
+        return values[static_cast<size_t>(c)];
+    }
+    double operator[](Counter c) const
+    {
+        return values[static_cast<size_t>(c)];
+    }
+
+    /** Element-wise accumulate (used when aggregating sub-intervals). */
+    void accumulate(const CounterSet &other);
+
+    /** Scale all values (used when averaging). */
+    void scale(double factor);
+};
+
+} // namespace boreas
+
+#endif // BOREAS_ARCH_COUNTERS_HH

@@ -1,0 +1,120 @@
+#include "boreas/analysis.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace boreas
+{
+
+GHz
+SeveritySweep::oracleFrequency(size_t w) const
+{
+    boreas_assert(w < peak.size(), "bad workload index %zu", w);
+    GHz best = freqs.front();
+    for (size_t f = 0; f < freqs.size(); ++f)
+        if (peak[w][f] < 1.0)
+            best = std::max(best, freqs[f]);
+    return best;
+}
+
+GHz
+SeveritySweep::globalLimit() const
+{
+    GHz limit = freqs.back();
+    for (size_t w = 0; w < workloads.size(); ++w)
+        limit = std::min(limit, oracleFrequency(w));
+    return limit;
+}
+
+int
+SeveritySweep::workloadIndex(const std::string &name) const
+{
+    for (size_t i = 0; i < workloads.size(); ++i)
+        if (workloads[i] == name)
+            return static_cast<int>(i);
+    return -1;
+}
+
+SeveritySweep
+severitySweep(SimulationPipeline &pipeline,
+              const std::vector<const WorkloadSpec *> &workloads,
+              const std::vector<GHz> &freqs, uint64_t seed, int steps)
+{
+    boreas_assert(!workloads.empty() && !freqs.empty(),
+                  "empty sweep spec");
+    SeveritySweep sweep;
+    sweep.freqs = freqs;
+    // Peak severity is a max statistic of a stochastic trace; evaluate
+    // a few seeded realizations per point so the safe/unsafe boundary
+    // is not an artifact of one phase realization.
+    constexpr int kSweepSeeds = 3;
+    for (const WorkloadSpec *w : workloads) {
+        sweep.workloads.push_back(w->name);
+        std::vector<double> row;
+        row.reserve(freqs.size());
+        for (GHz f : freqs) {
+            double peak = 0.0;
+            for (int s = 0; s < kSweepSeeds; ++s) {
+                const RunResult run = pipeline.runConstantFrequency(
+                    *w, seed + w->seedSalt + 97 * s, f, steps);
+                peak = std::max(peak, run.peakSeverity());
+            }
+            row.push_back(peak);
+        }
+        sweep.peak.push_back(std::move(row));
+    }
+    return sweep;
+}
+
+CriticalTempTable
+CriticalTempStudy::globalTable() const
+{
+    CriticalTempTable table;
+    table.criticalTemp.assign(freqs.size(), kNoCriticalTemp);
+    for (size_t f = 0; f < freqs.size(); ++f)
+        for (size_t w = 0; w < workloads.size(); ++w)
+            table.criticalTemp[f] =
+                std::min(table.criticalTemp[f], crit[w][f]);
+    return table;
+}
+
+CriticalTempStudy
+criticalTempStudy(SimulationPipeline &pipeline,
+                  const std::vector<const WorkloadSpec *> &workloads,
+                  const std::vector<GHz> &freqs, int sensor_index,
+                  uint64_t seed, int steps)
+{
+    CriticalTempStudy study;
+    study.freqs = freqs;
+    // Traces are windows of longer executions: probe each operating
+    // point from several initial thermal states, including cool ones.
+    // Starting cool is what exposes the sensor-delay hazard — a fast
+    // hotspot can reach severity 1.0 while the delayed reading is
+    // still low, which is why observed critical temperatures drop
+    // (Sec. III-D: libquantum with a 960 us delay).
+    const std::vector<GHz> warm_starts{3.0, kBaselineFrequency};
+    for (const WorkloadSpec *w : workloads) {
+        study.workloads.push_back(w->name);
+        std::vector<Celsius> row;
+        row.reserve(freqs.size());
+        for (GHz f : freqs) {
+            Celsius crit = kNoCriticalTemp;
+            for (GHz warm : warm_starts) {
+                const RunResult run = pipeline.runConstantFrequency(
+                    *w, seed + w->seedSalt, f, steps, warm);
+                for (const auto &rec : run.steps) {
+                    if (rec.severity.maxSeverity >= 1.0) {
+                        crit = std::min(
+                            crit, rec.sensorReadings[sensor_index]);
+                    }
+                }
+            }
+            row.push_back(crit);
+        }
+        study.crit.push_back(std::move(row));
+    }
+    return study;
+}
+
+} // namespace boreas

@@ -1,0 +1,182 @@
+#include "boreas/dataset_builder.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "ml/feature_schema.hh"
+
+namespace boreas
+{
+
+namespace
+{
+
+/** Max severity over steps (t, t + horizon], clamped. */
+double
+labelFor(const RunResult &run, int t, int horizon, double clamp)
+{
+    double peak = 0.0;
+    for (int k = t + 1;
+         k <= t + horizon && k < static_cast<int>(run.steps.size()); ++k)
+        peak = std::max(peak, run.steps[k].severity.maxSeverity);
+    return std::min(peak, clamp);
+}
+
+/** Emit one severity instance from step t of a run. */
+void
+emitInstance(Dataset &out, const RunResult &run, int t,
+             const DatasetConfig &config, GHz window_freq, int group)
+{
+    const StepRecord &rec = run.steps[t];
+    const std::vector<double> x = assembleFeatures(
+        rec.counters, rec.sensorReadings[config.sensorIndex],
+        window_freq);
+    out.addRow(x, labelFor(run, t, config.horizonSteps,
+                           config.labelClamp), group);
+}
+
+/** Emit a Cochran-Reda sample at a decision boundary. */
+void
+emitPhaseSample(std::vector<PhaseThermalSample> &out,
+                const RunResult &run, int t, int horizon,
+                int sensor_index, int freq_index)
+{
+    const int next = t + horizon;
+    if (next >= static_cast<int>(run.steps.size()))
+        return;
+    PhaseThermalSample s;
+    const StepRecord &rec = run.steps[t];
+    s.counters.assign(rec.counters.values.begin(),
+                      rec.counters.values.end());
+    s.tempNow = rec.sensorReadings[sensor_index];
+    s.freqIndex = freq_index;
+    s.tempNext = run.steps[next].sensorReadings[sensor_index];
+    out.push_back(std::move(s));
+}
+
+} // namespace
+
+BuiltData
+buildTrainingData(SimulationPipeline &pipeline,
+                  const std::vector<const WorkloadSpec *> &workloads,
+                  const DatasetConfig &config)
+{
+    boreas_assert(!workloads.empty(), "no workloads");
+    boreas_assert(config.horizonSteps >= 1, "bad horizon");
+
+    const VFTable &vf = pipeline.vfTable();
+    std::vector<GHz> freqs = config.frequencies;
+    if (freqs.empty())
+        freqs = vf.frequencies();
+
+    BuiltData built;
+    built.severity = Dataset(fullFeatureSchema());
+
+    Rng walk_rng(config.baseSeed ^ 0xdecaf000ULL);
+
+    std::vector<double> augments = config.intensityAugments;
+    if (augments.empty())
+        augments.push_back(1.0);
+
+    for (const WorkloadSpec *base : workloads) {
+        const int group = static_cast<int>(base->seedSalt);
+
+        // Constant-frequency traces, repeated per intensity augment.
+        for (size_t ai = 0; ai < augments.size(); ++ai) {
+            WorkloadSpec aug = *base;
+            aug.thermalScale *= augments[ai];
+            for (GHz f : freqs) {
+                for (int seg = 0; seg < config.constSegments; ++seg) {
+                    const uint64_t seed = config.baseSeed +
+                        base->seedSalt * 1000 + vf.index(f) * 10 + seg +
+                        ai * 31337;
+                    // Diversify the initial thermal state: real traces
+                    // are windows of much longer executions, so the
+                    // die can be anywhere between cool and saturated
+                    // when a window begins.
+                    const GHz warm = vf.frequency(
+                        (vf.index(f) + static_cast<int>(ai) * 4 + seg) %
+                        vf.numPoints());
+                    const RunResult run = pipeline.runConstantFrequency(
+                        aug, seed, f, config.traceSteps, warm);
+                    const int last =
+                        config.traceSteps - config.horizonSteps;
+                    for (int t = 0; t < last; ++t)
+                        emitInstance(built.severity, run, t, config, f,
+                                     group);
+                    // Phase samples at decision boundaries.
+                    for (int t = config.horizonSteps - 1; t < last;
+                         t += config.horizonSteps)
+                        emitPhaseSample(built.phaseSamples, run, t,
+                                        config.horizonSteps,
+                                        config.sensorIndex, vf.index(f));
+                }
+            }
+        }
+
+        // Random-walk traces: +/- one VF step (or hold) per decision,
+        // holding each point long enough that label windows with a
+        // single frequency exist.
+        const int hold = std::max(
+            1, (config.horizonSteps + kStepsPerDecision - 1) /
+                   kStepsPerDecision);
+        for (int seg = 0; seg < config.walkSegments; ++seg) {
+            WorkloadSpec aug = *base;
+            aug.thermalScale *= augments[seg % augments.size()];
+            const int decisions =
+                (config.traceSteps + kStepsPerDecision - 1) /
+                kStepsPerDecision;
+            std::vector<GHz> schedule;
+            GHz f = vf.frequency(
+                walk_rng.uniformInt(0, vf.numPoints() - 1));
+            while (static_cast<int>(schedule.size()) < decisions) {
+                for (int h = 0; h < hold; ++h)
+                    schedule.push_back(f);
+                const int move = walk_rng.uniformInt(-1, 1);
+                if (move < 0)
+                    f = vf.stepDown(f);
+                else if (move > 0)
+                    f = vf.stepUp(f);
+            }
+            schedule.resize(decisions);
+            const uint64_t seed = config.baseSeed +
+                base->seedSalt * 1000 + 777 + seg;
+            const GHz warm = vf.frequency(
+                walk_rng.uniformInt(0, vf.numPoints() - 1));
+            const RunResult run = pipeline.runWithSchedule(
+                aug, seed, schedule, config.traceSteps, warm);
+
+            // Instances only where the label window [t+1, t+horizon]
+            // runs at a single frequency: t+1 on a decision boundary
+            // and every decision period the window touches unchanged.
+            const int last = config.traceSteps - config.horizonSteps;
+            auto decision_of = [&](int step) {
+                return std::min(static_cast<size_t>(
+                                    step / kStepsPerDecision),
+                                schedule.size() - 1);
+            };
+            for (int t = kStepsPerDecision - 1; t < last;
+                 t += kStepsPerDecision) {
+                const GHz wf = schedule[decision_of(t + 1)];
+                bool constant = true;
+                for (int k = t + 1; k <= t + config.horizonSteps;
+                     k += kStepsPerDecision) {
+                    if (schedule[decision_of(k)] != wf) {
+                        constant = false;
+                        break;
+                    }
+                }
+                if (!constant ||
+                    schedule[decision_of(t + config.horizonSteps)] != wf)
+                    continue;
+                emitInstance(built.severity, run, t, config, wf, group);
+                emitPhaseSample(built.phaseSamples, run, t,
+                                config.horizonSteps, config.sensorIndex,
+                                vf.index(wf));
+            }
+        }
+    }
+    return built;
+}
+
+} // namespace boreas

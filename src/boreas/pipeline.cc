@@ -1,0 +1,225 @@
+#include "boreas/pipeline.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace boreas
+{
+
+double
+RunResult::averageFrequency() const
+{
+    if (steps.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (const auto &s : steps)
+        acc += s.frequency;
+    return acc / static_cast<double>(steps.size());
+}
+
+double
+RunResult::peakSeverity() const
+{
+    double peak = 0.0;
+    for (const auto &s : steps)
+        peak = std::max(peak, s.severity.maxSeverity);
+    return peak;
+}
+
+int
+RunResult::incursionSteps() const
+{
+    int n = 0;
+    for (const auto &s : steps)
+        if (s.severity.maxSeverity >= 1.0)
+            ++n;
+    return n;
+}
+
+SimulationPipeline::SimulationPipeline(const PipelineConfig &config)
+    : config_(config),
+      floorplan_(buildSkylakeFloorplan(config.floorplan)),
+      vf_(),
+      core_(config.core),
+      power_(floorplan_, config.power),
+      grid_(floorplan_, config.thermal),
+      severity_(config.severity)
+{
+    const auto sites = canonicalSensorSites(floorplan_,
+                                            config_.activeCore);
+    for (size_t i = 0; i < sites.size(); ++i) {
+        sensors_.addSensor(strfmt("tsens%02zu", i), sites[i],
+                           config_.sensors);
+    }
+}
+
+std::vector<Watts>
+SimulationPipeline::meanUnitPower(const WorkloadSpec &workload,
+                                  uint64_t seed, GHz freq)
+{
+    // Average the workload's counter stream over a probe window with
+    // leakage evaluated at a warm, uniform estimate.
+    WorkloadRun probe(workload, seed);
+    const Volts volts = vf_.voltage(freq);
+    const std::vector<Celsius> warm_temps(floorplan_.numUnits(),
+                                          config_.thermal.ambient + 20.0);
+
+    constexpr int kProbeSteps = 64;
+    std::vector<Watts> acc(floorplan_.numUnits(), 0.0);
+    for (int s = 0; s < kProbeSteps; ++s) {
+        const PhaseParams phase = probe.currentPhase();
+        const CounterSet counters = core_.step(
+            phase, freq, config_.stepLength, probe.rng());
+        const auto p = power_.unitPower(
+            counters, config_.activeCore, /*intensity=*/1.0, freq,
+            volts, warm_temps, config_.stepLength);
+        for (size_t i = 0; i < acc.size(); ++i)
+            acc[i] += p[i];
+        probe.advance(config_.stepLength);
+    }
+    for (auto &w : acc)
+        w /= kProbeSteps;
+    return acc;
+}
+
+void
+SimulationPipeline::start(const WorkloadSpec &workload, uint64_t seed,
+                          GHz warm_freq_override)
+{
+    run_ = std::make_unique<WorkloadRun>(workload, seed);
+    sensorRng_ = Rng(seed ^ 0xb0a3a5c1d2e3f405ULL);
+    stepIndex_ = 0;
+
+    grid_.reset(config_.thermal.ambient);
+    if (config_.warmStart) {
+        const GHz warm_freq = warm_freq_override > 0.0
+            ? warm_freq_override : config_.warmStartFreq;
+        const auto mean_power = meanUnitPower(workload, seed ^ 0x5eedULL,
+                                              warm_freq);
+        grid_.setUnitPower(mean_power);
+        grid_.solveSteadyState();
+    }
+
+    // Sensors start in equilibrium with their local silicon.
+    for (size_t i = 0; i < sensors_.size(); ++i) {
+        sensors_.sensor(static_cast<int>(i)).reset(
+            grid_.temperatureAt(
+                sensors_.sensor(static_cast<int>(i)).location()));
+    }
+}
+
+StepRecord
+SimulationPipeline::step(GHz freq)
+{
+    boreas_assert(run_ != nullptr, "step() before start()");
+    const Volts volts = vf_.voltage(freq);
+
+    const PhaseParams phase = run_->currentPhase();
+    // Residual switching-activity noise: data-dependent energy per
+    // event that no counter captures. Applied to power only (the
+    // counter-visible activity scale lives in phase.intensity and is
+    // consumed by the core model).
+    double residual = 1.0;
+    if (phase.intensityNoise > 0.0) {
+        residual =
+            std::exp(run_->rng().normal(0.0, phase.intensityNoise));
+    }
+    StepRecord rec;
+    rec.step = stepIndex_;
+    rec.frequency = freq;
+    rec.voltage = volts;
+    rec.counters = core_.step(phase, freq, config_.stepLength,
+                              run_->rng());
+
+    const std::vector<Celsius> unit_temps = grid_.unitTemps();
+    const auto unit_power = power_.unitPower(
+        rec.counters, config_.activeCore, residual, freq, volts,
+        unit_temps, config_.stepLength);
+    rec.totalPower = PowerModel::totalPower(unit_power);
+
+    grid_.setUnitPower(unit_power);
+    grid_.step(config_.stepLength);
+
+    sensors_.sampleAll(grid_, config_.stepLength, sensorRng_);
+    rec.sensorReadings = sensors_.readings();
+    rec.sensorTrue.reserve(sensors_.size());
+    for (size_t i = 0; i < sensors_.size(); ++i)
+        rec.sensorTrue.push_back(
+            sensors_.sensor(static_cast<int>(i)).lastTrueTemp());
+
+    const Meters cell_size = floorplan_.dieWidth() / grid_.nx();
+    rec.severity = severity_.evaluate(grid_.siliconTemps(), grid_.nx(),
+                                      grid_.ny(), cell_size);
+
+    run_->advance(config_.stepLength);
+    ++stepIndex_;
+    return rec;
+}
+
+RunResult
+SimulationPipeline::runConstantFrequency(const WorkloadSpec &workload,
+                                         uint64_t seed, GHz freq,
+                                         int steps,
+                                         GHz warm_freq_override)
+{
+    start(workload, seed, warm_freq_override);
+    RunResult result;
+    result.steps.reserve(steps);
+    for (int s = 0; s < steps; ++s)
+        result.steps.push_back(step(freq));
+    result.decidedFreqs.assign(
+        static_cast<size_t>((steps + kStepsPerDecision - 1) /
+                            kStepsPerDecision), freq);
+    return result;
+}
+
+RunResult
+SimulationPipeline::runWithController(const WorkloadSpec &workload,
+                                      uint64_t seed,
+                                      FrequencyController &controller,
+                                      GHz initial_freq, int steps)
+{
+    start(workload, seed);
+    controller.reset();
+
+    RunResult result;
+    result.steps.reserve(steps);
+    GHz freq = initial_freq;
+    for (int s = 0; s < steps; ++s) {
+        result.steps.push_back(step(freq));
+        if ((s + 1) % kStepsPerDecision == 0 && s + 1 < steps) {
+            DecisionContext ctx;
+            ctx.currentFreq = freq;
+            ctx.counters = &result.steps.back().counters;
+            ctx.sensorReadings = result.steps.back().sensorReadings;
+            ctx.vf = &vf_;
+            freq = controller.decide(ctx);
+            result.decidedFreqs.push_back(freq);
+        }
+    }
+    return result;
+}
+
+RunResult
+SimulationPipeline::runWithSchedule(const WorkloadSpec &workload,
+                                    uint64_t seed,
+                                    const std::vector<GHz> &schedule,
+                                    int steps, GHz warm_freq_override)
+{
+    boreas_assert(!schedule.empty(), "empty frequency schedule");
+    start(workload, seed, warm_freq_override);
+    RunResult result;
+    result.steps.reserve(steps);
+    for (int s = 0; s < steps; ++s) {
+        const size_t decision = std::min(
+            static_cast<size_t>(s / kStepsPerDecision),
+            schedule.size() - 1);
+        result.steps.push_back(step(schedule[decision]));
+    }
+    result.decidedFreqs = schedule;
+    return result;
+}
+
+} // namespace boreas

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * The closed-loop simulation pipeline (the HotGauge role in Fig. 3).
+ *
+ * Per 80 us telemetry step the pipeline:
+ *   1. asks the workload for its current phase and the interval core
+ *      model for the step's counters at the operating frequency;
+ *   2. converts counters to per-unit power (with leakage at the current
+ *      unit temperatures);
+ *   3. advances the transient thermal grid;
+ *   4. samples the sensor bank (delayed readings);
+ *   5. evaluates MLTD + Hotspot-Severity on the silicon temperatures.
+ *
+ * Runs warm-start from the steady state of the workload's average power
+ * at the baseline frequency, modelling a turbo window entered from
+ * sustained operation.
+ */
+
+#ifndef BOREAS_BOREAS_PIPELINE_HH
+#define BOREAS_BOREAS_PIPELINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "arch/core_model.hh"
+#include "control/controller.hh"
+#include "floorplan/skylake.hh"
+#include "hotspot/severity.hh"
+#include "power/power_model.hh"
+#include "power/vf_table.hh"
+#include "sensors/placement.hh"
+#include "sensors/sensor.hh"
+#include "thermal/thermal_grid.hh"
+#include "workload/workload.hh"
+
+namespace boreas
+{
+
+/** Configuration of the full pipeline. */
+struct PipelineConfig
+{
+    SkylakeParams floorplan{};
+    ThermalParams thermal{};
+    PowerModelParams power{};
+    SeverityParams severity{};
+    CoreParams core{};
+    SensorParams sensors{};   ///< applied to every canonical sensor
+
+    int activeCore = 0;
+    Seconds stepLength = kTelemetryStep;
+
+    /** Warm-start at the steady state of this frequency's mean power. */
+    bool warmStart = true;
+    GHz warmStartFreq = kBaselineFrequency;
+};
+
+/** Everything observed in one telemetry step. */
+struct StepRecord
+{
+    int step = 0;
+    GHz frequency = 0.0;
+    Volts voltage = 0.0;
+    CounterSet counters;
+    Watts totalPower = 0.0;
+    SeveritySnapshot severity;
+    std::vector<Celsius> sensorReadings; ///< delayed
+    std::vector<Celsius> sensorTrue;     ///< instantaneous at the sites
+};
+
+/** Aggregate outcome of one complete run. */
+struct RunResult
+{
+    std::vector<StepRecord> steps;
+    std::vector<GHz> decidedFreqs; ///< frequency after each decision
+
+    double averageFrequency() const;
+    double peakSeverity() const;
+    /** Steps whose max severity reached 1.0 (hotspot incursions). */
+    int incursionSteps() const;
+};
+
+/** The coupled perf/power/thermal/severity simulator. */
+class SimulationPipeline
+{
+  public:
+    explicit SimulationPipeline(const PipelineConfig &config = {});
+
+    const PipelineConfig &config() const { return config_; }
+    const Floorplan &floorplan() const { return floorplan_; }
+    const VFTable &vfTable() const { return vf_; }
+    const SeverityModel &severityModel() const { return severity_; }
+    const ThermalGrid &thermalGrid() const { return grid_; }
+    SensorBank &sensorBank() { return sensors_; }
+    const IntervalCore &coreModel() const { return core_; }
+
+    /**
+     * Begin a run of the given workload. Resets thermal state (with
+     * warm start if configured), sensors and the workload's phase
+     * position/noise streams.
+     *
+     * @param warm_freq_override if > 0, warm-start at this frequency
+     *        instead of config().warmStartFreq. Training traces use
+     *        this to diversify initial thermal states.
+     */
+    void start(const WorkloadSpec &workload, uint64_t seed,
+               GHz warm_freq_override = 0.0);
+
+    /** Advance one telemetry step at the given frequency. */
+    StepRecord step(GHz freq);
+
+    /** Steps executed since start(). */
+    int currentStep() const { return stepIndex_; }
+
+    /**
+     * Run `steps` telemetry steps at a fixed frequency (Fig. 2 sweeps,
+     * dataset generation).
+     */
+    RunResult runConstantFrequency(const WorkloadSpec &workload,
+                                   uint64_t seed, GHz freq,
+                                   int steps = kTraceSteps,
+                                   GHz warm_freq_override = 0.0);
+
+    /**
+     * Closed-loop run: the controller is consulted every
+     * kStepsPerDecision steps, starting at initial_freq.
+     */
+    RunResult runWithController(const WorkloadSpec &workload,
+                                uint64_t seed,
+                                FrequencyController &controller,
+                                GHz initial_freq,
+                                int steps = kTraceSteps);
+
+    /**
+     * Run with an arbitrary per-decision frequency schedule (one entry
+     * per decision period; the last entry persists). Used to generate
+     * training trajectories with frequency transitions.
+     */
+    RunResult runWithSchedule(const WorkloadSpec &workload, uint64_t seed,
+                              const std::vector<GHz> &schedule,
+                              int steps = kTraceSteps,
+                              GHz warm_freq_override = 0.0);
+
+  private:
+    /** Mean per-unit power of the workload at a frequency (for warm
+     *  start), using ambient leakage. */
+    std::vector<Watts> meanUnitPower(const WorkloadSpec &workload,
+                                     uint64_t seed, GHz freq);
+
+    PipelineConfig config_;
+    Floorplan floorplan_;
+    VFTable vf_;
+    IntervalCore core_;
+    PowerModel power_;
+    ThermalGrid grid_;
+    SeverityModel severity_;
+    SensorBank sensors_;
+
+    std::unique_ptr<WorkloadRun> run_;
+    Rng sensorRng_{0};
+    int stepIndex_ = 0;
+};
+
+} // namespace boreas
+
+#endif // BOREAS_BOREAS_PIPELINE_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 tradition.
+ *
+ * panic() is for internal invariant violations (a Boreas bug): it aborts.
+ * fatal() is for user-caused conditions (bad configuration): it exits(1).
+ * warn()/inform() print status without stopping the run.
+ */
+
+#ifndef BOREAS_COMMON_LOGGING_HH
+#define BOREAS_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace boreas
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace boreas
+
+/** Abort on an internal invariant violation (simulator bug). */
+#define boreas_panic(...) \
+    ::boreas::panicImpl(__FILE__, __LINE__, ::boreas::strfmt(__VA_ARGS__))
+
+/** Exit with an error on a user-caused condition (bad config/arguments). */
+#define boreas_fatal(...) \
+    ::boreas::fatalImpl(__FILE__, __LINE__, ::boreas::strfmt(__VA_ARGS__))
+
+/** Non-fatal warning to stderr. */
+#define boreas_warn(...) \
+    ::boreas::warnImpl(::boreas::strfmt(__VA_ARGS__))
+
+/** Informational status message to stdout. */
+#define boreas_inform(...) \
+    ::boreas::informImpl(::boreas::strfmt(__VA_ARGS__))
+
+/** Cheap always-on invariant check that panics with context. */
+#define boreas_assert(cond, ...) \
+    do { \
+        if (!(cond)) \
+            boreas_panic("assertion failed: %s: %s", #cond, \
+                         ::boreas::strfmt(__VA_ARGS__).c_str()); \
+    } while (0)
+
+#endif // BOREAS_COMMON_LOGGING_HH

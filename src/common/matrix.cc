@@ -1,0 +1,180 @@
+#include "common/matrix.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace boreas
+{
+
+Matrix::Matrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+{
+}
+
+Matrix
+Matrix::identity(size_t n)
+{
+    Matrix m(n, n);
+    for (size_t i = 0; i < n; ++i)
+        m.at(i, i) = 1.0;
+    return m;
+}
+
+Matrix
+Matrix::multiply(const Matrix &rhs) const
+{
+    boreas_assert(cols_ == rhs.rows_, "shape mismatch %zux%zu * %zux%zu",
+                  rows_, cols_, rhs.rows_, rhs.cols_);
+    Matrix out(rows_, rhs.cols_);
+    for (size_t i = 0; i < rows_; ++i) {
+        for (size_t k = 0; k < cols_; ++k) {
+            const double a = at(i, k);
+            if (a == 0.0)
+                continue;
+            for (size_t j = 0; j < rhs.cols_; ++j)
+                out.at(i, j) += a * rhs.at(k, j);
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+Matrix::multiply(const std::vector<double> &v) const
+{
+    boreas_assert(cols_ == v.size(), "shape mismatch %zux%zu * %zu",
+                  rows_, cols_, v.size());
+    std::vector<double> out(rows_, 0.0);
+    for (size_t i = 0; i < rows_; ++i) {
+        double acc = 0.0;
+        for (size_t j = 0; j < cols_; ++j)
+            acc += at(i, j) * v[j];
+        out[i] = acc;
+    }
+    return out;
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix out(cols_, rows_);
+    for (size_t i = 0; i < rows_; ++i)
+        for (size_t j = 0; j < cols_; ++j)
+            out.at(j, i) = at(i, j);
+    return out;
+}
+
+std::vector<double>
+Matrix::solve(Matrix a, std::vector<double> b)
+{
+    const size_t n = a.rows();
+    boreas_assert(a.cols() == n && b.size() == n,
+                  "solve needs square system");
+    for (size_t col = 0; col < n; ++col) {
+        // Partial pivot.
+        size_t pivot = col;
+        for (size_t r = col + 1; r < n; ++r)
+            if (std::fabs(a.at(r, col)) > std::fabs(a.at(pivot, col)))
+                pivot = r;
+        if (std::fabs(a.at(pivot, col)) < 1e-12)
+            boreas_panic("singular system in Matrix::solve (col %zu)", col);
+        if (pivot != col) {
+            for (size_t j = 0; j < n; ++j)
+                std::swap(a.at(pivot, j), a.at(col, j));
+            std::swap(b[pivot], b[col]);
+        }
+        const double inv = 1.0 / a.at(col, col);
+        for (size_t r = col + 1; r < n; ++r) {
+            const double factor = a.at(r, col) * inv;
+            if (factor == 0.0)
+                continue;
+            for (size_t j = col; j < n; ++j)
+                a.at(r, j) -= factor * a.at(col, j);
+            b[r] -= factor * b[col];
+        }
+    }
+    std::vector<double> x(n, 0.0);
+    for (size_t ri = n; ri-- > 0;) {
+        double acc = b[ri];
+        for (size_t j = ri + 1; j < n; ++j)
+            acc -= a.at(ri, j) * x[j];
+        x[ri] = acc / a.at(ri, ri);
+    }
+    return x;
+}
+
+void
+Matrix::symmetricEigen(std::vector<double> &eigenvalues,
+                       Matrix &vectors) const
+{
+    const size_t n = rows_;
+    boreas_assert(cols_ == n, "symmetricEigen needs a square matrix");
+    Matrix a = *this;
+    vectors = identity(n);
+
+    constexpr int kMaxSweeps = 100;
+    for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+        double off = 0.0;
+        for (size_t i = 0; i < n; ++i)
+            for (size_t j = i + 1; j < n; ++j)
+                off += a.at(i, j) * a.at(i, j);
+        if (off < 1e-20)
+            break;
+        for (size_t p = 0; p < n; ++p) {
+            for (size_t q = p + 1; q < n; ++q) {
+                const double apq = a.at(p, q);
+                if (std::fabs(apq) < 1e-15)
+                    continue;
+                const double app = a.at(p, p);
+                const double aqq = a.at(q, q);
+                const double theta = 0.5 * (aqq - app) / apq;
+                const double t = (theta >= 0 ? 1.0 : -1.0) /
+                    (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+                for (size_t k = 0; k < n; ++k) {
+                    const double akp = a.at(k, p);
+                    const double akq = a.at(k, q);
+                    a.at(k, p) = c * akp - s * akq;
+                    a.at(k, q) = s * akp + c * akq;
+                }
+                for (size_t k = 0; k < n; ++k) {
+                    const double apk = a.at(p, k);
+                    const double aqk = a.at(q, k);
+                    a.at(p, k) = c * apk - s * aqk;
+                    a.at(q, k) = s * apk + c * aqk;
+                }
+                for (size_t k = 0; k < n; ++k) {
+                    const double vkp = vectors.at(k, p);
+                    const double vkq = vectors.at(k, q);
+                    vectors.at(k, p) = c * vkp - s * vkq;
+                    vectors.at(k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    eigenvalues.resize(n);
+    for (size_t i = 0; i < n; ++i)
+        eigenvalues[i] = a.at(i, i);
+
+    // Sort descending by eigenvalue, permuting eigenvector columns along.
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+        return eigenvalues[x] > eigenvalues[y];
+    });
+    std::vector<double> sorted_vals(n);
+    Matrix sorted_vecs(n, n);
+    for (size_t k = 0; k < n; ++k) {
+        sorted_vals[k] = eigenvalues[order[k]];
+        for (size_t r = 0; r < n; ++r)
+            sorted_vecs.at(r, k) = vectors.at(r, order[k]);
+    }
+    eigenvalues = std::move(sorted_vals);
+    vectors = std::move(sorted_vecs);
+}
+
+} // namespace boreas

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Minimal dense row-major matrix used by the ML substrate (PCA, linear
+ * regression) and the thermal solver's steady-state solve.
+ *
+ * This is deliberately a small, boring numeric kernel: only the operations
+ * the project needs (multiply, transpose, Cholesky/Gaussian solves, Jacobi
+ * eigen decomposition for symmetric matrices).
+ */
+
+#ifndef BOREAS_COMMON_MATRIX_HH
+#define BOREAS_COMMON_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace boreas
+{
+
+/** Dense row-major matrix of doubles. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** rows x cols matrix initialized to fill. */
+    Matrix(size_t rows, size_t cols, double fill = 0.0);
+
+    /** Identity matrix of size n. */
+    static Matrix identity(size_t n);
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+
+    double &at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+    double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+    double &operator()(size_t r, size_t c) { return at(r, c); }
+    double operator()(size_t r, size_t c) const { return at(r, c); }
+
+    const std::vector<double> &data() const { return data_; }
+
+    /** Matrix product this * rhs. */
+    Matrix multiply(const Matrix &rhs) const;
+
+    /** Matrix-vector product. */
+    std::vector<double> multiply(const std::vector<double> &v) const;
+
+    /** Transpose. */
+    Matrix transposed() const;
+
+    /**
+     * Solve A x = b for square A via partially-pivoted Gaussian
+     * elimination. Panics on a (numerically) singular system.
+     */
+    static std::vector<double> solve(Matrix a, std::vector<double> b);
+
+    /**
+     * Eigen decomposition of a symmetric matrix by cyclic Jacobi
+     * rotations. Eigenvalues are returned sorted descending with the
+     * matching eigenvectors as the *columns* of vectors.
+     *
+     * @param eigenvalues output, size n
+     * @param vectors output, n x n, column k pairs with eigenvalue k
+     */
+    void symmetricEigen(std::vector<double> &eigenvalues,
+                        Matrix &vectors) const;
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+} // namespace boreas
+
+#endif // BOREAS_COMMON_MATRIX_HH

@@ -1,0 +1,89 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace boreas
+{
+
+void
+OnlineStats::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+OnlineStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+OnlineStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : v)
+        acc += x;
+    return acc / static_cast<double>(v.size());
+}
+
+double
+stddev(const std::vector<double> &v)
+{
+    if (v.size() < 2)
+        return 0.0;
+    const double m = mean(v);
+    double acc = 0.0;
+    for (double x : v)
+        acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(v.size()));
+}
+
+double
+percentile(std::vector<double> v, double p)
+{
+    boreas_assert(!v.empty(), "percentile of empty vector");
+    boreas_assert(p >= 0.0 && p <= 100.0, "percentile %f out of range", p);
+    std::sort(v.begin(), v.end());
+    const double idx = p / 100.0 * static_cast<double>(v.size() - 1);
+    const size_t lo = static_cast<size_t>(idx);
+    const size_t hi = std::min(lo + 1, v.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double
+meanSquaredError(const std::vector<double> &a, const std::vector<double> &b)
+{
+    boreas_assert(a.size() == b.size() && !a.empty(),
+                  "MSE needs equal non-empty vectors");
+    double acc = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        acc += d * d;
+    }
+    return acc / static_cast<double>(a.size());
+}
+
+} // namespace boreas

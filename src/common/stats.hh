@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Small statistics helpers shared by calibration, ML evaluation, and the
+ * benchmark harnesses.
+ */
+
+#ifndef BOREAS_COMMON_STATS_HH
+#define BOREAS_COMMON_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace boreas
+{
+
+/** Streaming mean/variance/min/max accumulator (Welford). */
+class OnlineStats
+{
+  public:
+    void add(double x);
+
+    size_t count() const { return count_; }
+    double mean() const { return mean_; }
+    /** Population variance; 0 for fewer than two samples. */
+    double variance() const;
+    double stddev() const;
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+  private:
+    size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Arithmetic mean; 0 for an empty vector. */
+double mean(const std::vector<double> &v);
+
+/** Population standard deviation; 0 for fewer than two samples. */
+double stddev(const std::vector<double> &v);
+
+/** Linear-interpolated percentile, p in [0, 100]. */
+double percentile(std::vector<double> v, double p);
+
+/** Mean squared error between two equally-sized vectors. */
+double meanSquaredError(const std::vector<double> &a,
+                        const std::vector<double> &b);
+
+} // namespace boreas
+
+#endif // BOREAS_COMMON_STATS_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Text-table and CSV emission used by the bench harnesses to print the
+ * rows/series of each paper table and figure.
+ */
+
+#ifndef BOREAS_COMMON_TABLE_HH
+#define BOREAS_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace boreas
+{
+
+/** Column-aligned ASCII table builder. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row (must match the header width if one is set). */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double v, int precision = 3);
+
+    /** Render with aligned columns; numeric-looking cells right-align. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV. */
+    void printCsv(std::ostream &os) const;
+
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace boreas
+
+#endif // BOREAS_COMMON_TABLE_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fundamental unit types and physical constants shared across Boreas.
+ *
+ * All quantities are carried in SI-ish engineering units chosen for the
+ * thermal/DVFS domain: seconds, watts, degrees Celsius, GHz and volts.
+ * Aliases are plain doubles (not strong types) to keep the numeric kernels
+ * simple; names exist to make interfaces self-documenting.
+ */
+
+#ifndef BOREAS_COMMON_TYPES_HH
+#define BOREAS_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace boreas
+{
+
+/** Time in seconds. */
+using Seconds = double;
+/** Temperature in degrees Celsius. */
+using Celsius = double;
+/** Power in watts. */
+using Watts = double;
+/** Energy in joules. */
+using Joules = double;
+/** Clock frequency in GHz. */
+using GHz = double;
+/** Supply voltage in volts. */
+using Volts = double;
+/** Length in meters. */
+using Meters = double;
+
+/** Telemetry/thermal simulation step used throughout the paper: 80 us. */
+constexpr Seconds kTelemetryStep = 80e-6;
+
+/** Controller decision period: 12 telemetry steps = 960 us (~1 ms). */
+constexpr int kStepsPerDecision = 12;
+constexpr Seconds kDecisionPeriod = kTelemetryStep * kStepsPerDecision;
+
+/** Length of one full application trace: 150 steps = 12 ms (Fig. 8). */
+constexpr int kTraceSteps = 150;
+
+/** Ambient / reference temperature for the thermal stack. */
+constexpr Celsius kAmbient = 45.0;
+
+/** DVFS step granularity (Sec. III-A): 250 MHz. */
+constexpr GHz kFrequencyStep = 0.25;
+constexpr GHz kMinFrequency = 2.0;
+constexpr GHz kMaxFrequency = 5.0;
+
+/** Baseline globally-safe frequency (Sec. III-C / Fig. 7). */
+constexpr GHz kBaselineFrequency = 3.75;
+
+} // namespace boreas
+
+#endif // BOREAS_COMMON_TYPES_HH

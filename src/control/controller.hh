@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The DVFS frequency-controller interface.
+ *
+ * The pipeline invokes the controller once per decision period (12
+ * telemetry steps = 960 us, Sec. V-A) with the telemetry a real
+ * implementation would have: the latest counter interval and the
+ * *delayed* sensor readings. The controller returns the frequency for
+ * the next period; the VF table supplies the matching voltage.
+ */
+
+#ifndef BOREAS_CONTROL_CONTROLLER_HH
+#define BOREAS_CONTROL_CONTROLLER_HH
+
+#include <vector>
+
+#include "arch/counters.hh"
+#include "common/types.hh"
+#include "power/vf_table.hh"
+
+namespace boreas
+{
+
+/** Everything a controller may observe at a decision point. */
+struct DecisionContext
+{
+    GHz currentFreq = kBaselineFrequency;
+    /** Telemetry of the most recent 80 us step. */
+    const CounterSet *counters = nullptr;
+    /** Delayed readings of every sensor in the bank. */
+    std::vector<Celsius> sensorReadings;
+    const VFTable *vf = nullptr;
+};
+
+/** Base class of all VF selection policies. */
+class FrequencyController
+{
+  public:
+    virtual ~FrequencyController() = default;
+
+    /** Name used in result tables ("TH-00", "ML05", "oracle", ...). */
+    virtual const char *name() const = 0;
+
+    /** Reset internal state for a fresh run. */
+    virtual void reset() {}
+
+    /** Pick the frequency for the next decision period. */
+    virtual GHz decide(const DecisionContext &ctx) = 0;
+};
+
+} // namespace boreas
+
+#endif // BOREAS_CONTROL_CONTROLLER_HH

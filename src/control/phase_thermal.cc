@@ -1,0 +1,210 @@
+#include "control/phase_thermal.hh"
+
+#include <istream>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace boreas
+{
+
+void
+PhaseThermalModel::train(const std::vector<PhaseThermalSample> &samples,
+                         int num_phases, int num_components,
+                         int num_freqs, Rng &rng)
+{
+    boreas_assert(!samples.empty(), "no phase-thermal samples");
+    boreas_assert(num_phases >= 1 && num_components >= 1 &&
+                  num_freqs >= 1, "bad phase-thermal config");
+    numFreqs_ = num_freqs;
+
+    const size_t d = samples[0].counters.size();
+    std::vector<double> raw;
+    raw.reserve(samples.size() * d);
+    for (const auto &s : samples) {
+        boreas_assert(s.counters.size() == d, "inconsistent sample width");
+        raw.insert(raw.end(), s.counters.begin(), s.counters.end());
+    }
+
+    pca_.fit(raw, d, static_cast<size_t>(num_components));
+    const std::vector<double> comps = pca_.transformAll(raw);
+    phases_ = kmeans(comps, static_cast<size_t>(num_components),
+                     static_cast<size_t>(num_phases), rng);
+
+    // Bucket samples into (phase, freq) cells.
+    const size_t ncells =
+        static_cast<size_t>(num_phases) * num_freqs;
+    std::vector<std::vector<double>> cell_x(ncells);
+    std::vector<std::vector<double>> cell_y(ncells);
+    std::vector<std::vector<double>> freq_x(num_freqs);
+    std::vector<std::vector<double>> freq_y(num_freqs);
+    std::vector<double> all_x;
+    std::vector<double> all_y;
+
+    const size_t reg_d = static_cast<size_t>(num_components) + 1;
+    for (size_t i = 0; i < samples.size(); ++i) {
+        const auto &s = samples[i];
+        boreas_assert(s.freqIndex >= 0 && s.freqIndex < num_freqs,
+                      "bad freq index %d", s.freqIndex);
+        std::vector<double> x(comps.begin() + i * num_components,
+                              comps.begin() + (i + 1) * num_components);
+        x.push_back(s.tempNow);
+        const int phase = phases_.assignments[i];
+        const size_t cell =
+            static_cast<size_t>(phase) * num_freqs + s.freqIndex;
+        cell_x[cell].insert(cell_x[cell].end(), x.begin(), x.end());
+        cell_y[cell].push_back(s.tempNext);
+        freq_x[s.freqIndex].insert(freq_x[s.freqIndex].end(), x.begin(),
+                                   x.end());
+        freq_y[s.freqIndex].push_back(s.tempNext);
+        all_x.insert(all_x.end(), x.begin(), x.end());
+        all_y.push_back(s.tempNext);
+    }
+
+    cells_.assign(ncells, {});
+    for (size_t c = 0; c < ncells; ++c) {
+        // Need meaningfully more rows than parameters to fit a cell.
+        if (cell_y[c].size() >= 3 * reg_d)
+            cells_[c].fit(cell_x[c], reg_d, cell_y[c], 1e-3);
+    }
+    freqFallback_.assign(num_freqs, {});
+    for (int f = 0; f < num_freqs; ++f) {
+        if (freq_y[f].size() >= 3 * reg_d)
+            freqFallback_[f].fit(freq_x[f], reg_d, freq_y[f], 1e-3);
+    }
+    globalFallback_.fit(all_x, reg_d, all_y, 1e-3);
+    trained_ = true;
+}
+
+std::vector<double>
+PhaseThermalModel::regressionInput(const std::vector<double> &counters,
+                                   Celsius temp_now) const
+{
+    std::vector<double> x = pca_.transform(counters);
+    x.push_back(temp_now);
+    return x;
+}
+
+int
+PhaseThermalModel::classifyPhase(
+    const std::vector<double> &counters) const
+{
+    boreas_assert(trained_, "model not trained");
+    const std::vector<double> comps = pca_.transform(counters);
+    return phases_.nearest(comps.data());
+}
+
+Celsius
+PhaseThermalModel::predictNextTemp(const std::vector<double> &counters,
+                                   Celsius temp_now,
+                                   int freq_index) const
+{
+    boreas_assert(trained_, "model not trained");
+    boreas_assert(freq_index >= 0 && freq_index < numFreqs_,
+                  "bad freq index %d", freq_index);
+    const std::vector<double> x = regressionInput(counters, temp_now);
+    const int phase = classifyPhase(counters);
+    const size_t cell =
+        static_cast<size_t>(phase) * numFreqs_ + freq_index;
+    if (cells_[cell].trained())
+        return cells_[cell].predict(x);
+    if (freqFallback_[freq_index].trained())
+        return freqFallback_[freq_index].predict(x);
+    return globalFallback_.predict(x);
+}
+
+PhaseThermalController::PhaseThermalController(
+    std::string name, const PhaseThermalModel *model,
+    CriticalTempTable table, Celsius offset, int sensor_index)
+    : name_(std::move(name)), model_(model), table_(std::move(table)),
+      offset_(offset), sensorIndex_(sensor_index)
+{
+    boreas_assert(model_ != nullptr && model_->trained(),
+                  "PhaseThermalController needs a trained model");
+}
+
+GHz
+PhaseThermalController::decide(const DecisionContext &ctx)
+{
+    boreas_assert(ctx.vf != nullptr && ctx.counters != nullptr,
+                  "incomplete decision context");
+    boreas_assert(static_cast<size_t>(sensorIndex_) <
+                  ctx.sensorReadings.size(),
+                  "sensor %d not in bank", sensorIndex_);
+    const VFTable &vf = *ctx.vf;
+    const Celsius reading = ctx.sensorReadings[sensorIndex_];
+
+    std::vector<double> counters(ctx.counters->values.begin(),
+                                 ctx.counters->values.end());
+
+    const Celsius pred_cur = model_->predictNextTemp(
+        counters, reading, vf.index(ctx.currentFreq));
+    if (pred_cur >= table_.thresholdAt(vf, ctx.currentFreq, offset_))
+        return vf.stepDown(ctx.currentFreq);
+
+    const GHz up = vf.stepUp(ctx.currentFreq);
+    if (up > ctx.currentFreq) {
+        const Celsius pred_up = model_->predictNextTemp(
+            counters, reading, vf.index(up));
+        if (pred_up < table_.thresholdAt(vf, up, offset_))
+            return up;
+    }
+    return ctx.currentFreq;
+}
+
+void
+PhaseThermalModel::save(std::ostream &os) const
+{
+    boreas_assert(trained_, "cannot save an untrained model");
+    os << "boreas-phase-thermal 1\n";
+    os << numFreqs_ << " " << cells_.size() << "\n";
+    pca_.save(os);
+    phases_.save(os);
+    for (const auto &cell : cells_) {
+        os << (cell.trained() ? 1 : 0) << "\n";
+        if (cell.trained())
+            cell.save(os);
+    }
+    for (const auto &fb : freqFallback_) {
+        os << (fb.trained() ? 1 : 0) << "\n";
+        if (fb.trained())
+            fb.save(os);
+    }
+    globalFallback_.save(os);
+}
+
+void
+PhaseThermalModel::load(std::istream &is)
+{
+    std::string magic;
+    int version = 0;
+    is >> magic >> version;
+    boreas_assert(magic == "boreas-phase-thermal" && version == 1,
+                  "bad phase-thermal header");
+    size_t ncells = 0;
+    is >> numFreqs_ >> ncells;
+    boreas_assert(numFreqs_ > 0 && ncells > 0 &&
+                  ncells % numFreqs_ == 0, "bad phase-thermal shape");
+    pca_.load(is);
+    phases_.load(is);
+    cells_.assign(ncells, {});
+    for (auto &cell : cells_) {
+        int has = 0;
+        is >> has;
+        if (has)
+            cell.load(is);
+    }
+    freqFallback_.assign(static_cast<size_t>(numFreqs_), {});
+    for (auto &fb : freqFallback_) {
+        int has = 0;
+        is >> has;
+        if (has)
+            fb.load(is);
+    }
+    globalFallback_.load(is);
+    boreas_assert(is.good() || is.eof(),
+                  "truncated phase-thermal model");
+    trained_ = true;
+}
+
+} // namespace boreas

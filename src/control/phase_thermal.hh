@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The Cochran & Reda (DAC'10) baseline the paper compares against in
+ * Sec. IV-C: consistent runtime thermal prediction through workload
+ * phase detection.
+ *
+ * Offline: raw performance counters are reduced with PCA, workload
+ * phases are formed by k-means in component space, and a per-(phase,
+ * frequency) linear regression predicts the *future temperature* from
+ * the components and the current reading. Runtime: classify the phase,
+ * predict the next interval's temperature at candidate frequencies, and
+ * throttle against a temperature threshold.
+ *
+ * The point of carrying this baseline is the paper's argument that even
+ * perfect temperature prediction is not enough — temperature alone does
+ * not capture severity (MLTD), so the policy still needs conservative
+ * thresholds.
+ */
+
+#ifndef BOREAS_CONTROL_PHASE_THERMAL_HH
+#define BOREAS_CONTROL_PHASE_THERMAL_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "control/controller.hh"
+#include "control/thermal_controller.hh"
+#include "ml/kmeans.hh"
+#include "ml/linreg.hh"
+#include "ml/pca.hh"
+
+namespace boreas
+{
+
+/** One offline training sample for the phase-thermal model. */
+struct PhaseThermalSample
+{
+    std::vector<double> counters; ///< the 76 microarch counters
+    Celsius tempNow = 0.0;        ///< sensor reading at decision time
+    int freqIndex = 0;            ///< VF point of the next interval
+    Celsius tempNext = 0.0;       ///< sensor reading one interval later
+};
+
+/** PCA + k-means phases + per-(phase, frequency) linear regression. */
+class PhaseThermalModel
+{
+  public:
+    /**
+     * Fit the full offline pipeline.
+     *
+     * @param samples training samples (all workloads of the train set)
+     * @param num_phases k for the phase clustering
+     * @param num_components retained principal components
+     * @param num_freqs VF grid size
+     * @param rng k-means seeding
+     */
+    void train(const std::vector<PhaseThermalSample> &samples,
+               int num_phases, int num_components, int num_freqs,
+               Rng &rng);
+
+    bool trained() const { return trained_; }
+    int numPhases() const { return static_cast<int>(phases_.k()); }
+
+    /** Phase id of a counter vector. */
+    int classifyPhase(const std::vector<double> &counters) const;
+
+    /** Predicted next-interval temperature. */
+    Celsius predictNextTemp(const std::vector<double> &counters,
+                            Celsius temp_now, int freq_index) const;
+
+    /** Serialize the trained pipeline (PCA, phases, regressions). */
+    void save(std::ostream &os) const;
+
+    /** Deserialize; panics on malformed input. */
+    void load(std::istream &is);
+
+  private:
+    /** Regression features: [components..., temp_now]. */
+    std::vector<double> regressionInput(
+        const std::vector<double> &counters, Celsius temp_now) const;
+
+    bool trained_ = false;
+    PCA pca_;
+    KMeansResult phases_;
+    int numFreqs_ = 0;
+    /** (phase * numFreqs + freq) -> regression; may be untrained. */
+    std::vector<LinearRegression> cells_;
+    /** Per-frequency fallback when a (phase, freq) cell had no data. */
+    std::vector<LinearRegression> freqFallback_;
+    /** Global fallback of last resort. */
+    LinearRegression globalFallback_;
+};
+
+/** The reactive controller built on the phase-thermal model. */
+class PhaseThermalController : public FrequencyController
+{
+  public:
+    PhaseThermalController(std::string name,
+                           const PhaseThermalModel *model,
+                           CriticalTempTable table, Celsius offset,
+                           int sensor_index);
+
+    const char *name() const override { return name_.c_str(); }
+
+    GHz decide(const DecisionContext &ctx) override;
+
+  private:
+    std::string name_;
+    const PhaseThermalModel *model_;
+    CriticalTempTable table_;
+    Celsius offset_;
+    int sensorIndex_;
+};
+
+} // namespace boreas
+
+#endif // BOREAS_CONTROL_PHASE_THERMAL_HH

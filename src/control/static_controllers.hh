@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Static VF selection policies: the global safe limit (Sec. III-C) and
+ * the per-workload oracle (Sec. III-B).
+ *
+ * Both run the entire trace at one frequency; the oracle's frequency is
+ * the highest point whose full-trace peak severity stays below 1.0,
+ * computed offline from the Fig. 2 sweep.
+ */
+
+#ifndef BOREAS_CONTROL_STATIC_CONTROLLERS_HH
+#define BOREAS_CONTROL_STATIC_CONTROLLERS_HH
+
+#include <string>
+
+#include "control/controller.hh"
+
+namespace boreas
+{
+
+/** Holds one frequency forever (global limit, oracle, ablations). */
+class FixedFrequencyController : public FrequencyController
+{
+  public:
+    FixedFrequencyController(std::string name, GHz freq)
+        : name_(std::move(name)), freq_(freq)
+    {
+    }
+
+    const char *name() const override { return name_.c_str(); }
+
+    GHz decide(const DecisionContext &) override { return freq_; }
+
+    GHz frequency() const { return freq_; }
+
+  private:
+    std::string name_;
+    GHz freq_;
+};
+
+} // namespace boreas
+
+#endif // BOREAS_CONTROL_STATIC_CONTROLLERS_HH

@@ -1,0 +1,52 @@
+#include "control/thermal_controller.hh"
+
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace boreas
+{
+
+Celsius
+CriticalTempTable::thresholdAt(const VFTable &vf, GHz freq,
+                               Celsius offset) const
+{
+    boreas_assert(criticalTemp.size() ==
+                  static_cast<size_t>(vf.numPoints()),
+                  "critical temp table size mismatch");
+    return criticalTemp[vf.index(freq)] + offset;
+}
+
+ThermalThresholdController::ThermalThresholdController(
+    std::string name, CriticalTempTable table, Celsius offset,
+    int sensor_index)
+    : name_(std::move(name)), table_(std::move(table)), offset_(offset),
+      sensorIndex_(sensor_index)
+{
+    boreas_assert(sensor_index >= 0, "bad sensor index");
+}
+
+GHz
+ThermalThresholdController::decide(const DecisionContext &ctx)
+{
+    boreas_assert(ctx.vf != nullptr, "missing VF table");
+    boreas_assert(static_cast<size_t>(sensorIndex_) <
+                  ctx.sensorReadings.size(),
+                  "sensor %d not in bank", sensorIndex_);
+    const Celsius reading = ctx.sensorReadings[sensorIndex_];
+    const VFTable &vf = *ctx.vf;
+
+    // Too hot for the current point: back off one step.
+    if (reading >= table_.thresholdAt(vf, ctx.currentFreq, offset_))
+        return vf.stepDown(ctx.currentFreq);
+
+    // Cool enough for the next point: boost one step.
+    const GHz up = vf.stepUp(ctx.currentFreq);
+    if (up > ctx.currentFreq &&
+        reading < table_.thresholdAt(vf, up, offset_)) {
+        return up;
+    }
+    return ctx.currentFreq;
+}
+
+} // namespace boreas

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Temperature-threshold DVFS controllers (the paper's TH-xx models,
+ * Secs. III-D and IV-C).
+ *
+ * A CriticalTempTable holds, per VF grid point, the lowest sensor
+ * temperature at which any training workload's Hotspot-Severity reached
+ * 1.0 (the "global critical temperature"). The controller throttles when
+ * the (delayed) sensor reading is at/above the current frequency's
+ * threshold, and boosts one step when the reading is safely below the
+ * next frequency's threshold. TH-05 / TH-10 relax all thresholds by
+ * +5 C / +10 C — the paper's Fig. 4 shows this helps mild workloads but
+ * causes incursions on bursty ones.
+ */
+
+#ifndef BOREAS_CONTROL_THERMAL_CONTROLLER_HH
+#define BOREAS_CONTROL_THERMAL_CONTROLLER_HH
+
+#include <string>
+#include <vector>
+
+#include "control/controller.hh"
+
+namespace boreas
+{
+
+/** Per-VF-point critical temperature thresholds. */
+struct CriticalTempTable
+{
+    /** One entry per VF grid point; +inf means never constrained. */
+    std::vector<Celsius> criticalTemp;
+
+    /** Threshold at a frequency with an additive relaxation offset. */
+    Celsius thresholdAt(const VFTable &vf, GHz freq,
+                        Celsius offset) const;
+};
+
+/** The TH-xx reactive thermal controller. */
+class ThermalThresholdController : public FrequencyController
+{
+  public:
+    /**
+     * @param name display name ("TH-00", "TH-05", ...)
+     * @param table global critical temperatures (train-set derived)
+     * @param offset threshold relaxation in C (0, 5, 10)
+     * @param sensor_index which sensor of the bank the policy trusts
+     */
+    ThermalThresholdController(std::string name, CriticalTempTable table,
+                               Celsius offset, int sensor_index);
+
+    const char *name() const override { return name_.c_str(); }
+
+    GHz decide(const DecisionContext &ctx) override;
+
+    const CriticalTempTable &table() const { return table_; }
+    Celsius offset() const { return offset_; }
+
+  private:
+    std::string name_;
+    CriticalTempTable table_;
+    Celsius offset_;
+    int sensorIndex_;
+};
+
+} // namespace boreas
+
+#endif // BOREAS_CONTROL_THERMAL_CONTROLLER_HH

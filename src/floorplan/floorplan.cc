@@ -1,0 +1,113 @@
+#include "floorplan/floorplan.hh"
+
+#include "common/logging.hh"
+
+namespace boreas
+{
+
+const char *
+unitKindName(UnitKind kind)
+{
+    switch (kind) {
+      case UnitKind::IFU: return "IFU";
+      case UnitKind::ICache: return "ICache";
+      case UnitKind::BPU: return "BPU";
+      case UnitKind::Rename: return "Rename";
+      case UnitKind::ROB: return "ROB";
+      case UnitKind::Scheduler: return "Scheduler";
+      case UnitKind::RegFile: return "RegFile";
+      case UnitKind::IntALU: return "IntALU";
+      case UnitKind::MUL: return "MUL";
+      case UnitKind::FPU: return "FPU";
+      case UnitKind::LSU: return "LSU";
+      case UnitKind::DCache: return "DCache";
+      case UnitKind::L2: return "L2";
+      case UnitKind::L3: return "L3";
+      case UnitKind::SoC: return "SoC";
+      default: return "?";
+    }
+}
+
+Floorplan::Floorplan(Meters die_width, Meters die_height)
+    : dieWidth_(die_width), dieHeight_(die_height)
+{
+    boreas_assert(die_width > 0 && die_height > 0, "bad die dimensions");
+}
+
+int
+Floorplan::addUnit(const std::string &name, UnitKind kind, const Rect &rect,
+                   int core_id)
+{
+    boreas_assert(findUnit(name) < 0, "duplicate unit name '%s'",
+                  name.c_str());
+    constexpr double kEps = 1e-9;
+    boreas_assert(rect.x >= -kEps && rect.y >= -kEps &&
+                  rect.right() <= dieWidth_ + kEps &&
+                  rect.bottom() <= dieHeight_ + kEps,
+                  "unit '%s' outside die", name.c_str());
+    boreas_assert(rect.w > 0 && rect.h > 0, "unit '%s' has no area",
+                  name.c_str());
+    units_.push_back({name, kind, rect, core_id});
+    return static_cast<int>(units_.size()) - 1;
+}
+
+int
+Floorplan::findUnit(const std::string &name) const
+{
+    for (size_t i = 0; i < units_.size(); ++i)
+        if (units_[i].name == name)
+            return static_cast<int>(i);
+    return -1;
+}
+
+int
+Floorplan::findUnit(UnitKind kind, int core_id) const
+{
+    for (size_t i = 0; i < units_.size(); ++i)
+        if (units_[i].kind == kind && units_[i].coreId == core_id)
+            return static_cast<int>(i);
+    return -1;
+}
+
+double
+Floorplan::utilization() const
+{
+    double placed = 0.0;
+    for (const auto &u : units_)
+        placed += u.rect.area();
+    return placed / (dieWidth_ * dieHeight_);
+}
+
+std::vector<UnitCellMap>
+Floorplan::rasterize(int nx, int ny) const
+{
+    boreas_assert(nx > 0 && ny > 0, "bad grid %dx%d", nx, ny);
+    const Meters cw = dieWidth_ / nx;
+    const Meters ch = dieHeight_ / ny;
+
+    std::vector<UnitCellMap> maps(units_.size());
+    for (size_t ui = 0; ui < units_.size(); ++ui) {
+        const Rect &r = units_[ui].rect;
+        const double unit_area = r.area();
+        // Only scan the cells the unit's bounding box touches.
+        const int cx0 = std::max(0, static_cast<int>(r.x / cw));
+        const int cy0 = std::max(0, static_cast<int>(r.y / ch));
+        const int cx1 = std::min(nx - 1,
+                                 static_cast<int>(r.right() / cw));
+        const int cy1 = std::min(ny - 1,
+                                 static_cast<int>(r.bottom() / ch));
+        for (int cy = cy0; cy <= cy1; ++cy) {
+            for (int cx = cx0; cx <= cx1; ++cx) {
+                const Rect cell{cx * cw, cy * ch, cw, ch};
+                const double ov = r.overlapArea(cell);
+                if (ov <= 0.0)
+                    continue;
+                maps[ui].cells.push_back(cy * nx + cx);
+                maps[ui].fractions.push_back(ov / unit_area);
+            }
+        }
+    }
+    return maps;
+}
+
+} // namespace boreas

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Floorplan representation: a die populated with named functional units.
+ *
+ * The floorplan is the glue between the architectural power model (which
+ * produces watts per functional unit) and the thermal grid (which needs
+ * watts per cell). rasterize() precomputes the unit-to-cell area mapping.
+ */
+
+#ifndef BOREAS_FLOORPLAN_FLOORPLAN_HH
+#define BOREAS_FLOORPLAN_FLOORPLAN_HH
+
+#include <string>
+#include <vector>
+
+#include "floorplan/geometry.hh"
+
+namespace boreas
+{
+
+/**
+ * Kind of on-die logic a unit implements. Drives which architectural
+ * activity counters feed power into the unit.
+ */
+enum class UnitKind
+{
+    IFU,        ///< fetch + decode frontend
+    ICache,     ///< L1 instruction cache
+    BPU,        ///< branch prediction (incl. BTB)
+    Rename,     ///< rename/allocate (incl. RAT)
+    ROB,        ///< reorder buffer
+    Scheduler,  ///< reservation stations / issue queue
+    RegFile,    ///< integer + FP physical register files
+    IntALU,     ///< integer execution cluster
+    MUL,        ///< integer multiply/divide
+    FPU,        ///< FP/SIMD execution
+    LSU,        ///< load/store unit + AGUs + TLBs
+    DCache,     ///< L1 data cache
+    L2,         ///< per-core mid-level cache
+    L3,         ///< shared last-level cache
+    SoC,        ///< system agent, memory controller, IO
+    NumKinds
+};
+
+/** Human-readable name of a unit kind. */
+const char *unitKindName(UnitKind kind);
+
+/** One placed functional unit. */
+struct FunctionalUnit
+{
+    std::string name;   ///< unique instance name, e.g. "core0.alu"
+    UnitKind kind;      ///< logic type
+    Rect rect;          ///< placement on the die, meters
+    int coreId;         ///< owning core index, -1 for uncore
+};
+
+/**
+ * Mapping of one functional unit onto thermal grid cells: the list of
+ * cells it overlaps and the fraction of the unit's area in each.
+ */
+struct UnitCellMap
+{
+    std::vector<int> cells;        ///< flat cell indices (y * nx + x)
+    std::vector<double> fractions; ///< area fractions, sums to ~1
+};
+
+/** A die with its functional units. */
+class Floorplan
+{
+  public:
+    Floorplan(Meters die_width, Meters die_height);
+
+    /** Add a unit; panics if it lies outside the die or the name repeats. */
+    int addUnit(const std::string &name, UnitKind kind, const Rect &rect,
+                int core_id);
+
+    Meters dieWidth() const { return dieWidth_; }
+    Meters dieHeight() const { return dieHeight_; }
+
+    const std::vector<FunctionalUnit> &units() const { return units_; }
+    const FunctionalUnit &unit(int idx) const { return units_[idx]; }
+    size_t numUnits() const { return units_.size(); }
+
+    /** Index of the unit with the given name; -1 if absent. */
+    int findUnit(const std::string &name) const;
+
+    /** First unit of the given kind owned by core_id; -1 if absent. */
+    int findUnit(UnitKind kind, int core_id) const;
+
+    /** Total placed area over die area (sanity metric). */
+    double utilization() const;
+
+    /**
+     * Precompute the unit -> cell area mapping for an nx x ny grid over
+     * the die. Cell (cx, cy) covers
+     * [cx*W/nx, (cx+1)*W/nx) x [cy*H/ny, (cy+1)*H/ny).
+     */
+    std::vector<UnitCellMap> rasterize(int nx, int ny) const;
+
+  private:
+    Meters dieWidth_;
+    Meters dieHeight_;
+    std::vector<FunctionalUnit> units_;
+};
+
+} // namespace boreas
+
+#endif // BOREAS_FLOORPLAN_FLOORPLAN_HH

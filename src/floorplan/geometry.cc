@@ -1,0 +1,41 @@
+#include "floorplan/geometry.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace boreas
+{
+
+bool
+Rect::contains(const Point &p) const
+{
+    return p.x >= x && p.x < right() && p.y >= y && p.y < bottom();
+}
+
+double
+Rect::overlapArea(const Rect &other) const
+{
+    const Meters ox = std::max(x, other.x);
+    const Meters oy = std::max(y, other.y);
+    const Meters ox2 = std::min(right(), other.right());
+    const Meters oy2 = std::min(bottom(), other.bottom());
+    if (ox2 <= ox || oy2 <= oy)
+        return 0.0;
+    return (ox2 - ox) * (oy2 - oy);
+}
+
+Rect
+Rect::translated(Meters dx, Meters dy) const
+{
+    return {x + dx, y + dy, w, h};
+}
+
+Meters
+distance(const Point &a, const Point &b)
+{
+    const Meters dx = a.x - b.x;
+    const Meters dy = a.y - b.y;
+    return std::sqrt(dx * dx + dy * dy);
+}
+
+} // namespace boreas

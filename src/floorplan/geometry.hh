@@ -1,0 +1,49 @@
+/**
+ * @file
+ * 2-D geometry primitives for floorplans and thermal grids.
+ */
+
+#ifndef BOREAS_FLOORPLAN_GEOMETRY_HH
+#define BOREAS_FLOORPLAN_GEOMETRY_HH
+
+#include "common/types.hh"
+
+namespace boreas
+{
+
+/** A point on the die, in meters, origin at the die's top-left corner. */
+struct Point
+{
+    Meters x = 0.0;
+    Meters y = 0.0;
+};
+
+/** Axis-aligned rectangle on the die, in meters. */
+struct Rect
+{
+    Meters x = 0.0; ///< left edge
+    Meters y = 0.0; ///< top edge
+    Meters w = 0.0; ///< width
+    Meters h = 0.0; ///< height
+
+    Meters right() const { return x + w; }
+    Meters bottom() const { return y + h; }
+    double area() const { return w * h; }
+    Point center() const { return {x + w / 2.0, y + h / 2.0}; }
+
+    /** True if the point lies inside (inclusive of top/left edges). */
+    bool contains(const Point &p) const;
+
+    /** Area of the intersection with another rectangle. */
+    double overlapArea(const Rect &other) const;
+
+    /** Translate by (dx, dy). */
+    Rect translated(Meters dx, Meters dy) const;
+};
+
+/** Euclidean distance between two points. */
+Meters distance(const Point &a, const Point &b);
+
+} // namespace boreas
+
+#endif // BOREAS_FLOORPLAN_GEOMETRY_HH

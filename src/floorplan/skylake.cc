@@ -1,0 +1,91 @@
+#include "floorplan/skylake.hh"
+
+#include "common/logging.hh"
+
+namespace boreas
+{
+
+namespace
+{
+
+/**
+ * Place the functional units of one core. Offsets are fractions of the
+ * (square) core edge so the layout scales with coreSize.
+ */
+void
+addCore(Floorplan &fp, int core_id, Meters ox, Meters oy, Meters edge)
+{
+    struct UnitDef
+    {
+        const char *suffix;
+        UnitKind kind;
+        double x, y, w, h; // fractions of the core edge
+    };
+    // Four rows: frontend / OoO bookkeeping / execution / memory.
+    static const UnitDef defs[] = {
+        {"icache",    UnitKind::ICache,    0.000, 0.000, 0.462, 0.231},
+        {"ifu",       UnitKind::IFU,       0.462, 0.000, 0.346, 0.231},
+        {"bpu",       UnitKind::BPU,       0.808, 0.000, 0.192, 0.231},
+        {"rename",    UnitKind::Rename,    0.000, 0.231, 0.212, 0.192},
+        {"rob",       UnitKind::ROB,       0.212, 0.231, 0.212, 0.192},
+        {"scheduler", UnitKind::Scheduler, 0.424, 0.231, 0.288, 0.192},
+        {"regfile",   UnitKind::RegFile,   0.712, 0.231, 0.288, 0.192},
+        {"alu",       UnitKind::IntALU,    0.000, 0.423, 0.231, 0.231},
+        {"mul",       UnitKind::MUL,       0.231, 0.423, 0.173, 0.231},
+        {"fpu",       UnitKind::FPU,       0.404, 0.423, 0.365, 0.231},
+        {"lsu",       UnitKind::LSU,       0.769, 0.423, 0.231, 0.231},
+        {"dcache",    UnitKind::DCache,    0.000, 0.654, 0.500, 0.346},
+        {"l2",        UnitKind::L2,        0.500, 0.654, 0.500, 0.346},
+    };
+    for (const auto &d : defs) {
+        const Rect r{ox + d.x * edge, oy + d.y * edge,
+                     d.w * edge, d.h * edge};
+        fp.addUnit(strfmt("core%d.%s", core_id, d.suffix), d.kind, r,
+                   core_id);
+    }
+}
+
+} // namespace
+
+Floorplan
+buildSkylakeFloorplan(const SkylakeParams &params)
+{
+    boreas_assert(params.numCores >= 1 && params.numCores <= 4,
+                  "numCores must be 1..4");
+    Floorplan fp(params.dieWidth, params.dieHeight);
+
+    const Meters margin = 0.3e-3;
+    const Meters gap = 0.2e-3;
+    const Meters edge = params.coreSize;
+
+    for (int c = 0; c < params.numCores; ++c) {
+        const int col = c % 2;
+        const int row = c / 2;
+        const Meters ox = margin + col * (edge + gap);
+        const Meters oy = margin + row * (edge + gap);
+        addCore(fp, c, ox, oy, edge);
+    }
+
+    // L3 strip across the bottom, under the core cluster.
+    const Meters cluster_w = 2 * edge + gap;
+    const Meters cluster_h = 2 * edge + gap;
+    const Meters l3_y = margin + cluster_h + gap;
+    const Meters l3_h = params.dieHeight - l3_y - margin;
+    if (l3_h > 0.5e-3) {
+        fp.addUnit("l3", UnitKind::L3,
+                   {margin, l3_y, cluster_w, l3_h}, -1);
+    }
+
+    // SoC / system agent strip along the right edge.
+    const Meters soc_x = margin + cluster_w + gap;
+    const Meters soc_w = params.dieWidth - soc_x - margin;
+    if (soc_w > 0.5e-3) {
+        fp.addUnit("soc", UnitKind::SoC,
+                   {soc_x, margin, soc_w,
+                    params.dieHeight - 2 * margin}, -1);
+    }
+
+    return fp;
+}
+
+} // namespace boreas

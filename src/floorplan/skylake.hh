@@ -1,0 +1,40 @@
+/**
+ * @file
+ * A parametric Skylake-like client-die floorplan.
+ *
+ * Mirrors the modelling setup of HotGauge / Boreas: a 4-core desktop client
+ * processor at a 7nm-class node. Exact dimensions are not published in the
+ * paper; the layout here preserves what matters for hotspot behaviour:
+ * a small, dense integer-execution cluster adjacent to the scheduler and
+ * register file (where advanced hotspots form), large cool caches nearby
+ * (which create steep local gradients, i.e. high MLTD), and uncore away
+ * from the active core.
+ */
+
+#ifndef BOREAS_FLOORPLAN_SKYLAKE_HH
+#define BOREAS_FLOORPLAN_SKYLAKE_HH
+
+#include "floorplan/floorplan.hh"
+
+namespace boreas
+{
+
+/** Geometry knobs for the Skylake-like die. */
+struct SkylakeParams
+{
+    Meters dieWidth = 8.0e-3;
+    Meters dieHeight = 8.0e-3;
+    Meters coreSize = 2.6e-3;  ///< cores are square
+    int numCores = 4;
+};
+
+/**
+ * Build the Skylake-like client floorplan: numCores cores in a 2-wide
+ * grid at the top-left, an L3 strip below them, and a SoC/system-agent
+ * strip on the right edge.
+ */
+Floorplan buildSkylakeFloorplan(const SkylakeParams &params = {});
+
+} // namespace boreas
+
+#endif // BOREAS_FLOORPLAN_SKYLAKE_HH

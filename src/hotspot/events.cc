@@ -1,0 +1,119 @@
+#include "hotspot/events.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace boreas
+{
+
+HotspotDetector::HotspotDetector(double threshold, double arm_level)
+    : threshold_(threshold), armLevel_(arm_level)
+{
+    boreas_assert(arm_level < threshold && arm_level > 0.0,
+                  "arm level %.3f must lie below the threshold %.3f",
+                  arm_level, threshold);
+}
+
+void
+HotspotDetector::observe(const SeveritySnapshot &snap,
+                         Seconds step_length)
+{
+    const Seconds now = step_ * step_length;
+    const double sev = snap.maxSeverity;
+
+    if (!inEvent_) {
+        if (!armed_ && sev >= armLevel_) {
+            armed_ = true;
+            // The trace may begin already above the arm level; mark
+            // that with a sentinel start time so onset reads negative.
+            armTime_ = step_ == 0 ? -1.0 : now;
+        } else if (armed_ && sev < armLevel_) {
+            armed_ = false;
+        }
+        if (sev >= threshold_) {
+            inEvent_ = true;
+            current_ = HotspotEvent{};
+            current_.startStep = step_;
+            current_.onset = armed_ && armTime_ >= 0.0
+                ? now - armTime_ : -1.0;
+        }
+    }
+
+    if (inEvent_) {
+        if (sev >= current_.peakSeverity) {
+            current_.peakSeverity = sev;
+            current_.peakCell = snap.argmaxCell;
+            current_.peakTemp = snap.tempAtMax;
+            current_.peakMltd = snap.mltdAtMax;
+        }
+        // Exit with hysteresis: the event ends when severity falls
+        // back below the arm level.
+        if (sev < armLevel_) {
+            current_.endStep = step_;
+            closeEvent();
+        }
+    }
+    ++step_;
+}
+
+void
+HotspotDetector::finish()
+{
+    if (inEvent_) {
+        current_.endStep = step_;
+        closeEvent();
+    }
+}
+
+void
+HotspotDetector::closeEvent()
+{
+    events_.push_back(current_);
+    inEvent_ = false;
+    armed_ = false;
+}
+
+int
+HotspotDetector::totalEventSteps() const
+{
+    int total = 0;
+    for (const auto &e : events_)
+        total += e.durationSteps();
+    return total;
+}
+
+Seconds
+HotspotDetector::fastestOnset() const
+{
+    Seconds best = std::numeric_limits<Seconds>::infinity();
+    for (const auto &e : events_)
+        if (e.onset >= 0.0)
+            best = std::min(best, e.onset);
+    return best;
+}
+
+void
+HotspotDetector::reset()
+{
+    step_ = 0;
+    armed_ = false;
+    armTime_ = 0.0;
+    inEvent_ = false;
+    events_.clear();
+}
+
+std::vector<HotspotEvent>
+extractHotspotEvents(const std::vector<SeveritySnapshot> &steps,
+                     double threshold, double arm_level,
+                     Seconds step_length)
+{
+    HotspotDetector detector(threshold, arm_level);
+    for (const auto &snap : steps)
+        detector.observe(snap, step_length);
+    detector.finish();
+    return detector.events();
+}
+
+} // namespace boreas

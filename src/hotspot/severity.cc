@@ -1,0 +1,172 @@
+#include "hotspot/severity.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "common/logging.hh"
+
+namespace boreas
+{
+
+SeverityModel::SeverityModel(const SeverityParams &params)
+    : params_(params)
+{
+    boreas_assert(params_.tCritUniform > params_.tCritMid &&
+                  params_.tCritMid > params_.tCritHigh &&
+                  params_.tCritHigh > params_.tCritFloor,
+                  "severity anchors must be decreasing");
+    boreas_assert(params_.mltdHigh > params_.mltdMid &&
+                  params_.mltdMid > 0.0, "bad MLTD anchors");
+    boreas_assert(params_.tRef < params_.tCritFloor,
+                  "tRef must be below the critical floor");
+}
+
+Celsius
+SeverityModel::criticalTemp(Celsius mltd) const
+{
+    const SeverityParams &p = params_;
+    double t_crit;
+    if (mltd <= 0.0) {
+        t_crit = p.tCritUniform;
+    } else if (mltd <= p.mltdMid) {
+        const double slope = (p.tCritMid - p.tCritUniform) / p.mltdMid;
+        t_crit = p.tCritUniform + slope * mltd;
+    } else if (mltd <= p.mltdHigh) {
+        const double slope = (p.tCritHigh - p.tCritMid) /
+            (p.mltdHigh - p.mltdMid);
+        t_crit = p.tCritMid + slope * (mltd - p.mltdMid);
+    } else {
+        // Extrapolate with the last segment's slope, clamped to the
+        // physical floor.
+        const double slope = (p.tCritHigh - p.tCritMid) /
+            (p.mltdHigh - p.mltdMid);
+        t_crit = p.tCritHigh + slope * (mltd - p.mltdHigh);
+    }
+    return std::max(t_crit, p.tCritFloor);
+}
+
+double
+SeverityModel::severity(Celsius temp, Celsius mltd) const
+{
+    const double denom = criticalTemp(mltd) - params_.tRef;
+    const double sev = (temp - params_.tRef) / denom;
+    return std::max(0.0, sev);
+}
+
+namespace
+{
+
+/**
+ * 1-D sliding-window minimum over each row of a grid (monotonic deque),
+ * window of half-width w. src and dst must differ.
+ */
+void
+slidingMinRows(const std::vector<double> &src, std::vector<double> &dst,
+               int nx, int ny, int w)
+{
+    std::deque<int> dq;
+    for (int y = 0; y < ny; ++y) {
+        const int row = y * nx;
+        dq.clear();
+        // Prime the deque with the first window's head.
+        for (int x = 0; x < std::min(w, nx - 1) + 1; ++x) {
+            while (!dq.empty() && src[row + dq.back()] >= src[row + x])
+                dq.pop_back();
+            dq.push_back(x);
+        }
+        for (int x = 0; x < nx; ++x) {
+            // Extend the window's right edge (x = 0 was primed above).
+            const int incoming = x + w;
+            if (x > 0 && incoming < nx) {
+                while (!dq.empty() &&
+                       src[row + dq.back()] >= src[row + incoming])
+                    dq.pop_back();
+                dq.push_back(incoming);
+            }
+            // Drop indices that left the window on the left.
+            while (!dq.empty() && dq.front() < x - w)
+                dq.pop_front();
+            dst[row + x] = src[row + dq.front()];
+        }
+    }
+}
+
+/** Column-direction counterpart of slidingMinRows. */
+void
+slidingMinCols(const std::vector<double> &src, std::vector<double> &dst,
+               int nx, int ny, int w)
+{
+    std::deque<int> dq;
+    for (int x = 0; x < nx; ++x) {
+        dq.clear();
+        for (int y = 0; y < std::min(w, ny - 1) + 1; ++y) {
+            while (!dq.empty() &&
+                   src[dq.back() * nx + x] >= src[y * nx + x])
+                dq.pop_back();
+            dq.push_back(y);
+        }
+        for (int y = 0; y < ny; ++y) {
+            const int incoming = y + w;
+            if (y > 0 && incoming < ny) {
+                while (!dq.empty() &&
+                       src[dq.back() * nx + x] >= src[incoming * nx + x])
+                    dq.pop_back();
+                dq.push_back(incoming);
+            }
+            while (!dq.empty() && dq.front() < y - w)
+                dq.pop_front();
+            dst[y * nx + x] = src[dq.front() * nx + x];
+        }
+    }
+}
+
+} // namespace
+
+std::vector<Celsius>
+SeverityModel::mltdField(const std::vector<Celsius> &temps, int nx, int ny,
+                         Meters cell_size) const
+{
+    boreas_assert(static_cast<int>(temps.size()) == nx * ny,
+                  "temps size %zu != %dx%d", temps.size(), nx, ny);
+    const int w = std::max(
+        1, static_cast<int>(std::lround(params_.mltdRadius / cell_size)));
+
+    std::vector<double> row_min(temps.size());
+    std::vector<double> window_min(temps.size());
+    slidingMinRows(temps, row_min, nx, ny, w);
+    slidingMinCols(row_min, window_min, nx, ny, w);
+
+    std::vector<Celsius> mltd(temps.size());
+    for (size_t i = 0; i < temps.size(); ++i)
+        mltd[i] = temps[i] - window_min[i];
+    return mltd;
+}
+
+SeveritySnapshot
+SeverityModel::evaluate(const std::vector<Celsius> &temps, int nx, int ny,
+                        Meters cell_size,
+                        std::vector<double> *per_cell) const
+{
+    const std::vector<Celsius> mltd = mltdField(temps, nx, ny, cell_size);
+
+    SeveritySnapshot snap;
+    if (per_cell)
+        per_cell->resize(temps.size());
+    for (size_t i = 0; i < temps.size(); ++i) {
+        const double sev = severity(temps[i], mltd[i]);
+        if (per_cell)
+            (*per_cell)[i] = sev;
+        if (sev > snap.maxSeverity || snap.argmaxCell < 0) {
+            snap.maxSeverity = sev;
+            snap.argmaxCell = static_cast<int>(i);
+            snap.tempAtMax = temps[i];
+            snap.mltdAtMax = mltd[i];
+        }
+        snap.maxTemp = std::max(snap.maxTemp, temps[i]);
+        snap.maxMltd = std::max(snap.maxMltd, mltd[i]);
+    }
+    return snap;
+}
+
+} // namespace boreas

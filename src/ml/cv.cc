@@ -1,0 +1,74 @@
+#include "ml/cv.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace boreas
+{
+
+CVResult
+leaveOneGroupOutCV(const Dataset &data, const GBTParams &params,
+                   int max_folds)
+{
+    const std::vector<int> groups = data.distinctGroups();
+    boreas_assert(groups.size() >= 2, "need >= 2 groups for LOOCV");
+
+    int folds = static_cast<int>(groups.size());
+    if (max_folds > 0)
+        folds = std::min(folds, max_folds);
+
+    CVResult result;
+    for (int k = 0; k < folds; ++k) {
+        const std::vector<int> held{groups[k]};
+        const Dataset train = data.selectGroups(held, /*invert=*/true);
+        const Dataset valid = data.selectGroups(held);
+        if (train.numRows() == 0 || valid.numRows() == 0)
+            continue;
+        GBTRegressor model;
+        model.train(train, params);
+        result.foldMse.push_back(model.mse(valid));
+    }
+    boreas_assert(!result.foldMse.empty(), "no usable CV folds");
+    result.meanMse = mean(result.foldMse);
+    result.stdMse = stddev(result.foldMse);
+    return result;
+}
+
+GridSearchResult
+gridSearchCV(const Dataset &data, const std::vector<GBTParams> &grid,
+             int max_folds)
+{
+    boreas_assert(!grid.empty(), "empty parameter grid");
+    GridSearchResult out;
+    for (const auto &params : grid)
+        out.entries.push_back({params,
+                               leaveOneGroupOutCV(data, params,
+                                                  max_folds)});
+
+    out.bestIndex = 0;
+    for (size_t i = 1; i < out.entries.size(); ++i) {
+        const auto &cand = out.entries[i];
+        const auto &best = out.entries[out.bestIndex];
+        const double cm = cand.cv.meanMse;
+        const double bm = best.cv.meanMse;
+        if (cm < bm - 1e-12) {
+            out.bestIndex = i;
+        } else if (std::fabs(cm - bm) <= 1e-12) {
+            // Tie: prefer lower variance, then the smaller model.
+            const auto size = [](const GBTParams &p) {
+                return static_cast<long>(p.nEstimators) *
+                    ((1L << (p.maxDepth + 1)) - 1);
+            };
+            if (cand.cv.stdMse < best.cv.stdMse ||
+                (cand.cv.stdMse == best.cv.stdMse &&
+                 size(cand.params) < size(best.params))) {
+                out.bestIndex = i;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace boreas

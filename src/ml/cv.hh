@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Model selection: leave-one-application-out cross-validation and
+ * grid search (Sec. IV-A "Grid search CV").
+ *
+ * The paper's CV is a modified LOOCV where the unit held out is an
+ * *application* (a dataset group), never individual rows — this keeps the
+ * validation honest for the deployment setting, where the model must
+ * generalize to workloads it has never seen.
+ */
+
+#ifndef BOREAS_ML_CV_HH
+#define BOREAS_ML_CV_HH
+
+#include <vector>
+
+#include "ml/dataset.hh"
+#include "ml/gbt.hh"
+
+namespace boreas
+{
+
+/** Aggregate result of one cross-validated configuration. */
+struct CVResult
+{
+    double meanMse = 0.0;
+    double stdMse = 0.0;
+    std::vector<double> foldMse; ///< per held-out application
+};
+
+/**
+ * Leave-one-group-out cross-validation of a GBT configuration.
+ *
+ * @param data the training pool (groups = applications)
+ * @param params the configuration under evaluation
+ * @param max_folds cap on folds for cheap sweeps; <= 0 means all groups
+ */
+CVResult leaveOneGroupOutCV(const Dataset &data, const GBTParams &params,
+                            int max_folds = -1);
+
+/** One grid-search entry: configuration plus its CV score. */
+struct GridSearchEntry
+{
+    GBTParams params;
+    CVResult cv;
+};
+
+/** Grid-search outcome (entries in evaluation order). */
+struct GridSearchResult
+{
+    std::vector<GridSearchEntry> entries;
+    size_t bestIndex = 0;
+
+    const GBTParams &best() const { return entries[bestIndex].params; }
+    double bestMse() const { return entries[bestIndex].cv.meanMse; }
+};
+
+/**
+ * Cross-validate every configuration in the grid and pick the one with
+ * the lowest mean MSE (ties broken toward lower std, then smaller model).
+ */
+GridSearchResult gridSearchCV(const Dataset &data,
+                              const std::vector<GBTParams> &grid,
+                              int max_folds = -1);
+
+} // namespace boreas
+
+#endif // BOREAS_ML_CV_HH

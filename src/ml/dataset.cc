@@ -1,0 +1,95 @@
+#include "ml/dataset.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace boreas
+{
+
+Dataset::Dataset(std::vector<std::string> feature_names)
+    : featureNames_(std::move(feature_names))
+{
+    boreas_assert(!featureNames_.empty(), "dataset needs features");
+}
+
+void
+Dataset::addRow(const std::vector<double> &features, double target,
+                int group)
+{
+    boreas_assert(features.size() == numFeatures(),
+                  "row width %zu != %zu features",
+                  features.size(), numFeatures());
+    features_.insert(features_.end(), features.begin(), features.end());
+    targets_.push_back(target);
+    groups_.push_back(group);
+}
+
+std::vector<int>
+Dataset::distinctGroups() const
+{
+    std::vector<int> out;
+    for (int g : groups_)
+        if (std::find(out.begin(), out.end(), g) == out.end())
+            out.push_back(g);
+    return out;
+}
+
+Dataset
+Dataset::selectGroups(const std::vector<int> &groups, bool invert) const
+{
+    Dataset out(featureNames_);
+    for (size_t r = 0; r < numRows(); ++r) {
+        const bool in = std::find(groups.begin(), groups.end(),
+                                  groups_[r]) != groups.end();
+        if (in != invert) {
+            out.features_.insert(out.features_.end(), row(r),
+                                 row(r) + numFeatures());
+            out.targets_.push_back(targets_[r]);
+            out.groups_.push_back(groups_[r]);
+        }
+    }
+    return out;
+}
+
+Dataset
+Dataset::selectFeatures(const std::vector<size_t> &indices) const
+{
+    std::vector<std::string> names;
+    names.reserve(indices.size());
+    for (size_t i : indices) {
+        boreas_assert(i < numFeatures(), "feature index %zu out of range",
+                      i);
+        names.push_back(featureNames_[i]);
+    }
+    Dataset out(std::move(names));
+    out.targets_ = targets_;
+    out.groups_ = groups_;
+    out.features_.reserve(numRows() * indices.size());
+    for (size_t r = 0; r < numRows(); ++r)
+        for (size_t i : indices)
+            out.features_.push_back(x(r, i));
+    return out;
+}
+
+int
+Dataset::featureIndex(const std::string &name) const
+{
+    for (size_t i = 0; i < featureNames_.size(); ++i)
+        if (featureNames_[i] == name)
+            return static_cast<int>(i);
+    return -1;
+}
+
+double
+Dataset::targetMean() const
+{
+    if (targets_.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double t : targets_)
+        acc += t;
+    return acc / static_cast<double>(targets_.size());
+}
+
+} // namespace boreas

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tabular dataset used to train and evaluate the severity predictors.
+ *
+ * Rows are telemetry instances (one per 80 us step), columns are named
+ * features, the target is the next control interval's max severity, and
+ * each row carries a group id (the workload it came from). Group ids are
+ * what enforce the paper's split discipline: a workload's instances are
+ * exclusive to either the train or the test side, and cross-validation is
+ * leave-one-application-out (Sec. IV-A).
+ */
+
+#ifndef BOREAS_ML_DATASET_HH
+#define BOREAS_ML_DATASET_HH
+
+#include <string>
+#include <vector>
+
+namespace boreas
+{
+
+/** Feature matrix + target + group labels. */
+class Dataset
+{
+  public:
+    Dataset() = default;
+    explicit Dataset(std::vector<std::string> feature_names);
+
+    const std::vector<std::string> &featureNames() const
+    {
+        return featureNames_;
+    }
+    size_t numFeatures() const { return featureNames_.size(); }
+    size_t numRows() const { return targets_.size(); }
+
+    /** Append one instance. */
+    void addRow(const std::vector<double> &features, double target,
+                int group);
+
+    double x(size_t row, size_t feature) const
+    {
+        return features_[row * numFeatures() + feature];
+    }
+    double y(size_t row) const { return targets_[row]; }
+    int group(size_t row) const { return groups_[row]; }
+
+    /** Contiguous feature row (numFeatures values). */
+    const double *row(size_t r) const
+    {
+        return features_.data() + r * numFeatures();
+    }
+
+    const std::vector<double> &targets() const { return targets_; }
+
+    /** Distinct group ids in first-appearance order. */
+    std::vector<int> distinctGroups() const;
+
+    /** Rows whose group is (or is not) in the given set. */
+    Dataset selectGroups(const std::vector<int> &groups,
+                         bool invert = false) const;
+
+    /** Column subset (indices into the current feature order). */
+    Dataset selectFeatures(const std::vector<size_t> &indices) const;
+
+    /** Index of a feature by name; -1 if absent. */
+    int featureIndex(const std::string &name) const;
+
+    /** Mean of the target column (the GBT base prediction). */
+    double targetMean() const;
+
+  private:
+    std::vector<std::string> featureNames_;
+    std::vector<double> features_; ///< row-major
+    std::vector<double> targets_;
+    std::vector<int> groups_;
+};
+
+} // namespace boreas
+
+#endif // BOREAS_ML_DATASET_HH

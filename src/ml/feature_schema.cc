@@ -1,0 +1,95 @@
+#include "ml/feature_schema.hh"
+
+#include "common/logging.hh"
+
+namespace boreas
+{
+
+const std::vector<std::string> &
+fullFeatureSchema()
+{
+    static const std::vector<std::string> schema = [] {
+        std::vector<std::string> names;
+        names.reserve(kNumFullFeatures);
+        for (size_t i = 0; i < kNumCounters; ++i)
+            names.push_back(counterName(static_cast<Counter>(i)));
+        names.push_back("temperature_sensor_data");
+        names.push_back("frequency");
+        return names;
+    }();
+    return schema;
+}
+
+std::vector<double>
+assembleFeatures(const CounterSet &counters, Celsius temp_reading,
+                 GHz commanded_freq)
+{
+    std::vector<double> x;
+    x.reserve(kNumFullFeatures);
+    x.insert(x.end(), counters.values.begin(), counters.values.end());
+    x.push_back(temp_reading);
+    x.push_back(commanded_freq);
+    return x;
+}
+
+const std::vector<std::string> &
+paperTop20Features()
+{
+    // Table IV, least to most important.
+    static const std::vector<std::string> top20 = {
+        "dcache_write_accesses",
+        "FPU_cdb_duty_cycle",
+        "IFU_duty_cycle",
+        "LSU_duty_cycle",
+        "branch_mispredictions",
+        "MUL_cdb_duty_cycle",
+        "cdb_fpu_accesses",
+        "dcache_read_misses",
+        "BTB_read_accesses",
+        "itlb_total_misses",
+        "dtlb_total_accesses",
+        "committed_int_instructions",
+        "icache_read_accesses",
+        "busy_cycles",
+        "total_cycles",
+        "ROB_reads",
+        "dcache_read_accesses",
+        "committed_instructions",
+        "cdb_alu_accesses",
+        "temperature_sensor_data",
+    };
+    return top20;
+}
+
+const std::vector<std::string> &
+deployedFeatureNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v = paperTop20Features();
+        v.push_back("frequency");
+        return v;
+    }();
+    return names;
+}
+
+std::vector<size_t>
+featureIndicesOf(const std::vector<std::string> &names)
+{
+    const auto &schema = fullFeatureSchema();
+    std::vector<size_t> out;
+    out.reserve(names.size());
+    for (const auto &name : names) {
+        bool found = false;
+        for (size_t i = 0; i < schema.size(); ++i) {
+            if (schema[i] == name) {
+                out.push_back(i);
+                found = true;
+                break;
+            }
+        }
+        boreas_assert(found, "unknown feature '%s'", name.c_str());
+    }
+    return out;
+}
+
+} // namespace boreas

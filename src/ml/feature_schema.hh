@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The 78-attribute feature schema (Sec. IV-B).
+ *
+ * A feature vector is the 76 microarchitectural counters of one telemetry
+ * interval, followed by temperature_sensor_data (the delayed reading of
+ * the deployed sensor) and the frequency commanded for the predicted
+ * window. The commanded frequency is the model's action input: it is what
+ * lets the controller query "what would severity be at 250 MHz higher?"
+ * (Sec. V-A). Consistent with the paper — where frequency did not make
+ * the top-20 gain list because temperature dominates — its learned
+ * importance is small, but it must be present for the what-if query.
+ */
+
+#ifndef BOREAS_ML_FEATURE_SCHEMA_HH
+#define BOREAS_ML_FEATURE_SCHEMA_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/counters.hh"
+#include "common/types.hh"
+
+namespace boreas
+{
+
+/** Index of temperature_sensor_data in the full schema. */
+constexpr size_t kTempFeatureIndex = kNumCounters;
+/** Index of the commanded frequency in the full schema. */
+constexpr size_t kFreqFeatureIndex = kNumCounters + 1;
+/** Total width of the full schema (the paper's 78 attributes). */
+constexpr size_t kNumFullFeatures = kNumCounters + 2;
+
+/** Names of all 78 attributes, in dataset column order. */
+const std::vector<std::string> &fullFeatureSchema();
+
+/** Build a full feature vector from one interval's telemetry. */
+std::vector<double> assembleFeatures(const CounterSet &counters,
+                                     Celsius temp_reading,
+                                     GHz commanded_freq);
+
+/**
+ * The paper's Table IV top-20 attributes (most important last, matching
+ * the table's "sorted from the least to most important" presentation).
+ */
+const std::vector<std::string> &paperTop20Features();
+
+/**
+ * The deployed model's feature set: the Table IV top-20 plus the
+ * commanded frequency (the controller's action input).
+ */
+const std::vector<std::string> &deployedFeatureNames();
+
+/**
+ * Map feature names to their indices in the full schema; panics on an
+ * unknown name.
+ */
+std::vector<size_t> featureIndicesOf(
+    const std::vector<std::string> &names);
+
+} // namespace boreas
+
+#endif // BOREAS_ML_FEATURE_SCHEMA_HH

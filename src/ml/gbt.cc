@@ -1,0 +1,398 @@
+#include "ml/gbt.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace boreas
+{
+
+double
+GBTTree::predict(const double *x) const
+{
+    int i = 0;
+    while (nodes[i].feature >= 0) {
+        i = (x[nodes[i].feature] <= nodes[i].threshold)
+            ? nodes[i].left : nodes[i].right;
+    }
+    return nodes[i].value;
+}
+
+int
+GBTTree::depth() const
+{
+    // Iterative depth over the explicit child links.
+    int max_depth = 0;
+    std::vector<std::pair<int, int>> stack{{0, 0}};
+    while (!stack.empty()) {
+        auto [idx, d] = stack.back();
+        stack.pop_back();
+        max_depth = std::max(max_depth, d);
+        if (nodes[idx].feature >= 0) {
+            stack.push_back({nodes[idx].left, d + 1});
+            stack.push_back({nodes[idx].right, d + 1});
+        }
+    }
+    return max_depth;
+}
+
+namespace
+{
+
+/** Quantile-binned view of the training features. */
+struct BinnedData
+{
+    size_t numRows = 0;
+    size_t numFeatures = 0;
+    std::vector<uint16_t> codes;            ///< row-major bin codes
+    std::vector<std::vector<double>> cuts;  ///< per-feature upper edges
+
+    uint16_t code(size_t r, size_t f) const
+    {
+        return codes[r * numFeatures + f];
+    }
+};
+
+BinnedData
+binFeatures(const Dataset &data, int max_bins)
+{
+    BinnedData b;
+    b.numRows = data.numRows();
+    b.numFeatures = data.numFeatures();
+    b.cuts.resize(b.numFeatures);
+    b.codes.assign(b.numRows * b.numFeatures, 0);
+
+    std::vector<double> col(b.numRows);
+    for (size_t f = 0; f < b.numFeatures; ++f) {
+        for (size_t r = 0; r < b.numRows; ++r)
+            col[r] = data.x(r, f);
+        std::vector<double> sorted = col;
+        std::sort(sorted.begin(), sorted.end());
+
+        // Quantile cut candidates; deduplicated. The last bin is
+        // implicit (> last cut).
+        std::vector<double> cuts;
+        for (int q = 1; q < max_bins; ++q) {
+            const size_t idx = std::min(
+                b.numRows - 1, q * b.numRows / max_bins);
+            const double v = sorted[idx];
+            if (cuts.empty() || v > cuts.back())
+                cuts.push_back(v);
+        }
+        b.cuts[f] = cuts;
+
+        for (size_t r = 0; r < b.numRows; ++r) {
+            const auto it = std::lower_bound(cuts.begin(), cuts.end(),
+                                             col[r]);
+            b.codes[r * b.numFeatures + f] =
+                static_cast<uint16_t>(it - cuts.begin());
+        }
+    }
+    return b;
+}
+
+struct BinStats
+{
+    double g = 0.0;
+    double h = 0.0;
+};
+
+double
+leafWeight(double g, double h, double lambda)
+{
+    return -g / (h + lambda);
+}
+
+double
+similarity(double g, double h, double lambda)
+{
+    return g * g / (h + lambda);
+}
+
+} // namespace
+
+void
+GBTRegressor::train(const Dataset &data, const GBTParams &params)
+{
+    boreas_assert(data.numRows() > 0, "empty training set");
+    boreas_assert(params.maxDepth >= 1 && params.nEstimators >= 1,
+                  "bad GBT params");
+    params_ = params;
+    numFeatures_ = data.numFeatures();
+    trees_.clear();
+
+    const size_t n = data.numRows();
+    base_ = data.targetMean();
+
+    const BinnedData binned = binFeatures(data, params.maxBins);
+
+    std::vector<double> pred(n, base_);
+    std::vector<double> grad(n, 0.0);
+    Rng rng(params.seed);
+
+    std::vector<int> all_rows(n);
+    for (size_t i = 0; i < n; ++i)
+        all_rows[i] = static_cast<int>(i);
+
+    for (int t = 0; t < params.nEstimators; ++t) {
+        for (size_t i = 0; i < n; ++i)
+            grad[i] = pred[i] - data.y(i);
+
+        // Optional row subsampling per boosting round.
+        std::vector<int> rows;
+        if (params.subsample >= 1.0) {
+            rows = all_rows;
+        } else {
+            rows.reserve(static_cast<size_t>(n * params.subsample) + 1);
+            for (size_t i = 0; i < n; ++i)
+                if (rng.uniform() < params.subsample)
+                    rows.push_back(static_cast<int>(i));
+            if (rows.empty())
+                rows = all_rows;
+        }
+
+        GBTTree tree;
+        // Recursive level-wise growth over index ranges of `rows`.
+        struct Task
+        {
+            int node;
+            size_t begin, end;
+            int depth;
+        };
+        tree.nodes.push_back({});
+        std::vector<Task> stack{{0, 0, rows.size(), 0}};
+
+        while (!stack.empty()) {
+            const Task task = stack.back();
+            stack.pop_back();
+
+            double gsum = 0.0;
+            const double hsum =
+                static_cast<double>(task.end - task.begin);
+            for (size_t k = task.begin; k < task.end; ++k)
+                gsum += grad[rows[k]];
+
+            GBTNode &placeholder = tree.nodes[task.node];
+            placeholder.value = leafWeight(gsum, hsum, params.lambda);
+
+            if (task.depth >= params.maxDepth ||
+                hsum < 2.0 * params.minChildWeight) {
+                continue; // stays a leaf
+            }
+
+            // Histograms per feature.
+            const size_t nf = binned.numFeatures;
+            std::vector<std::vector<BinStats>> hist(nf);
+            for (size_t f = 0; f < nf; ++f)
+                hist[f].assign(binned.cuts[f].size() + 1, BinStats{});
+            for (size_t k = task.begin; k < task.end; ++k) {
+                const int r = rows[k];
+                const double g = grad[r];
+                const uint16_t *codes =
+                    binned.codes.data() + static_cast<size_t>(r) * nf;
+                for (size_t f = 0; f < nf; ++f) {
+                    BinStats &bs = hist[f][codes[f]];
+                    bs.g += g;
+                    bs.h += 1.0;
+                }
+            }
+
+            // Best split scan.
+            const double parent_sim =
+                similarity(gsum, hsum, params.lambda);
+            double best_gain = 0.0;
+            int best_feature = -1;
+            int best_bin = -1;
+            for (size_t f = 0; f < nf; ++f) {
+                double gl = 0.0, hl = 0.0;
+                const size_t nbins = hist[f].size();
+                for (size_t bin = 0; bin + 1 < nbins; ++bin) {
+                    gl += hist[f][bin].g;
+                    hl += hist[f][bin].h;
+                    const double gr = gsum - gl;
+                    const double hr = hsum - hl;
+                    if (hl < params.minChildWeight ||
+                        hr < params.minChildWeight)
+                        continue;
+                    const double gain = 0.5 *
+                        (similarity(gl, hl, params.lambda) +
+                         similarity(gr, hr, params.lambda) -
+                         parent_sim) - params.gamma;
+                    if (gain > best_gain) {
+                        best_gain = gain;
+                        best_feature = static_cast<int>(f);
+                        best_bin = static_cast<int>(bin);
+                    }
+                }
+            }
+
+            if (best_feature < 0)
+                continue; // no profitable split: leaf
+
+            // Partition the row range by the winning bin.
+            const auto mid_it = std::partition(
+                rows.begin() + task.begin, rows.begin() + task.end,
+                [&](int r) {
+                    return binned.code(r, best_feature) <=
+                        static_cast<uint16_t>(best_bin);
+                });
+            const size_t mid = static_cast<size_t>(
+                mid_it - rows.begin());
+            if (mid == task.begin || mid == task.end)
+                continue; // degenerate partition: leaf
+
+            const int left = static_cast<int>(tree.nodes.size());
+            tree.nodes.push_back({});
+            const int right = static_cast<int>(tree.nodes.size());
+            tree.nodes.push_back({});
+
+            GBTNode &node = tree.nodes[task.node];
+            node.feature = best_feature;
+            node.threshold = binned.cuts[best_feature][best_bin];
+            node.left = left;
+            node.right = right;
+            node.gain = best_gain;
+
+            stack.push_back({left, task.begin, mid, task.depth + 1});
+            stack.push_back({right, mid, task.end, task.depth + 1});
+        }
+
+        // Update running predictions with the shrunk tree output.
+        for (size_t i = 0; i < n; ++i)
+            pred[i] += params.learningRate * tree.predict(data.row(i));
+
+        trees_.push_back(std::move(tree));
+    }
+}
+
+double
+GBTRegressor::predict(const double *x) const
+{
+    double acc = base_;
+    for (const auto &tree : trees_)
+        acc += params_.learningRate * tree.predict(x);
+    return acc;
+}
+
+double
+GBTRegressor::predict(const std::vector<double> &x) const
+{
+    boreas_assert(x.size() == numFeatures_,
+                  "feature vector size %zu != %zu", x.size(),
+                  numFeatures_);
+    return predict(x.data());
+}
+
+std::vector<double>
+GBTRegressor::predictAll(const Dataset &data) const
+{
+    boreas_assert(data.numFeatures() == numFeatures_,
+                  "dataset feature count mismatch");
+    std::vector<double> out(data.numRows());
+    for (size_t r = 0; r < data.numRows(); ++r)
+        out[r] = predict(data.row(r));
+    return out;
+}
+
+double
+GBTRegressor::mse(const Dataset &data) const
+{
+    boreas_assert(data.numRows() > 0, "empty eval set");
+    const auto preds = predictAll(data);
+    double acc = 0.0;
+    for (size_t r = 0; r < data.numRows(); ++r) {
+        const double d = preds[r] - data.y(r);
+        acc += d * d;
+    }
+    return acc / static_cast<double>(data.numRows());
+}
+
+std::vector<double>
+GBTRegressor::featureImportance() const
+{
+    std::vector<double> gains(numFeatures_, 0.0);
+    for (const auto &tree : trees_)
+        for (const auto &node : tree.nodes)
+            if (node.feature >= 0)
+                gains[node.feature] += node.gain;
+    double total = 0.0;
+    for (double g : gains)
+        total += g;
+    if (total > 0.0)
+        for (double &g : gains)
+            g /= total;
+    return gains;
+}
+
+size_t
+GBTRegressor::modelBytes() const
+{
+    // Sec. V-E accounting: full trees, one 32-bit value per node.
+    const size_t nodes_per_tree =
+        (static_cast<size_t>(1) << (params_.maxDepth + 1)) - 1;
+    return trees_.size() * nodes_per_tree * 4;
+}
+
+size_t
+GBTRegressor::comparisonsPerPrediction() const
+{
+    return trees_.size() * static_cast<size_t>(params_.maxDepth);
+}
+
+size_t
+GBTRegressor::additionsPerPrediction() const
+{
+    return trees_.empty() ? 0 : trees_.size() - 1;
+}
+
+void
+GBTRegressor::save(std::ostream &os) const
+{
+    // Full round-trip precision: thresholds decide tree paths, so any
+    // rounding can flip predictions.
+    os.precision(17);
+    os << "boreas-gbt 1\n";
+    os << params_.learningRate << " " << params_.gamma << " "
+       << params_.maxDepth << " " << params_.nEstimators << " "
+       << params_.lambda << "\n";
+    os << base_ << " " << numFeatures_ << " " << trees_.size() << "\n";
+    for (const auto &tree : trees_) {
+        os << tree.nodes.size() << "\n";
+        for (const auto &n : tree.nodes) {
+            os << n.feature << " " << n.threshold << " " << n.left << " "
+               << n.right << " " << n.value << " " << n.gain << "\n";
+        }
+    }
+}
+
+void
+GBTRegressor::load(std::istream &is)
+{
+    std::string magic;
+    int version = 0;
+    is >> magic >> version;
+    boreas_assert(magic == "boreas-gbt" && version == 1,
+                  "bad GBT model header");
+    is >> params_.learningRate >> params_.gamma >> params_.maxDepth >>
+        params_.nEstimators >> params_.lambda;
+    size_t num_trees = 0;
+    is >> base_ >> numFeatures_ >> num_trees;
+    boreas_assert(is.good(), "truncated GBT model");
+    trees_.assign(num_trees, {});
+    for (auto &tree : trees_) {
+        size_t num_nodes = 0;
+        is >> num_nodes;
+        tree.nodes.assign(num_nodes, {});
+        for (auto &n : tree.nodes) {
+            is >> n.feature >> n.threshold >> n.left >> n.right >>
+                n.value >> n.gain;
+        }
+        boreas_assert(is.good(), "truncated GBT model tree");
+    }
+}
+
+} // namespace boreas

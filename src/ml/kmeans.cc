@@ -1,0 +1,168 @@
+#include "ml/kmeans.hh"
+
+#include <istream>
+#include <ostream>
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace boreas
+{
+
+namespace
+{
+
+double
+sqDist(const double *a, const double *b, size_t dim)
+{
+    double acc = 0.0;
+    for (size_t i = 0; i < dim; ++i) {
+        const double d = a[i] - b[i];
+        acc += d * d;
+    }
+    return acc;
+}
+
+} // namespace
+
+int
+KMeansResult::nearest(const double *x) const
+{
+    int best = 0;
+    double best_d = std::numeric_limits<double>::max();
+    for (size_t c = 0; c < k(); ++c) {
+        const double d = sqDist(x, centroids.data() + c * dim, dim);
+        if (d < best_d) {
+            best_d = d;
+            best = static_cast<int>(c);
+        }
+    }
+    return best;
+}
+
+KMeansResult
+kmeans(const std::vector<double> &x, size_t dim, size_t k, Rng &rng,
+       int max_iters)
+{
+    boreas_assert(dim > 0 && x.size() % dim == 0, "bad kmeans shape");
+    const size_t n = x.size() / dim;
+    boreas_assert(k >= 1 && k <= n, "bad k=%zu for n=%zu", k, n);
+
+    KMeansResult res;
+    res.dim = dim;
+    res.centroids.reserve(k * dim);
+    res.assignments.assign(n, 0);
+
+    // k-means++ seeding.
+    const size_t first = static_cast<size_t>(
+        rng.uniformInt(0, static_cast<int>(n) - 1));
+    res.centroids.insert(res.centroids.end(), x.data() + first * dim,
+                         x.data() + (first + 1) * dim);
+    std::vector<double> d2(n);
+    while (res.centroids.size() < k * dim) {
+        double total = 0.0;
+        const size_t have = res.centroids.size() / dim;
+        for (size_t i = 0; i < n; ++i) {
+            double best = std::numeric_limits<double>::max();
+            for (size_t c = 0; c < have; ++c)
+                best = std::min(best,
+                                sqDist(x.data() + i * dim,
+                                       res.centroids.data() + c * dim,
+                                       dim));
+            d2[i] = best;
+            total += best;
+        }
+        size_t chosen = n - 1;
+        if (total > 0.0) {
+            double pick = rng.uniform() * total;
+            for (size_t i = 0; i < n; ++i) {
+                pick -= d2[i];
+                if (pick <= 0.0) {
+                    chosen = i;
+                    break;
+                }
+            }
+        } else {
+            chosen = static_cast<size_t>(
+                rng.uniformInt(0, static_cast<int>(n) - 1));
+        }
+        res.centroids.insert(res.centroids.end(), x.data() + chosen * dim,
+                             x.data() + (chosen + 1) * dim);
+    }
+
+    // Lloyd iterations.
+    std::vector<double> sums(k * dim);
+    std::vector<size_t> counts(k);
+    for (int it = 0; it < max_iters; ++it) {
+        bool changed = false;
+        for (size_t i = 0; i < n; ++i) {
+            const int c = res.nearest(x.data() + i * dim);
+            if (res.assignments[i] != c) {
+                res.assignments[i] = c;
+                changed = true;
+            }
+        }
+        res.iterations = it + 1;
+        if (!changed && it > 0)
+            break;
+
+        std::fill(sums.begin(), sums.end(), 0.0);
+        std::fill(counts.begin(), counts.end(), 0);
+        for (size_t i = 0; i < n; ++i) {
+            const size_t c = static_cast<size_t>(res.assignments[i]);
+            for (size_t j = 0; j < dim; ++j)
+                sums[c * dim + j] += x[i * dim + j];
+            ++counts[c];
+        }
+        for (size_t c = 0; c < k; ++c) {
+            if (counts[c] == 0)
+                continue; // keep the old centroid for empty clusters
+            for (size_t j = 0; j < dim; ++j)
+                res.centroids[c * dim + j] =
+                    sums[c * dim + j] / static_cast<double>(counts[c]);
+        }
+    }
+
+    res.inertia = 0.0;
+    for (size_t i = 0; i < n; ++i)
+        res.inertia += sqDist(
+            x.data() + i * dim,
+            res.centroids.data() +
+                static_cast<size_t>(res.assignments[i]) * dim,
+            dim);
+    return res;
+}
+
+void
+KMeansResult::save(std::ostream &os) const
+{
+    os.precision(17);
+    os << "boreas-kmeans 1\n";
+    os << dim << " " << k() << "\n";
+    for (double v : centroids)
+        os << v << "\n";
+}
+
+void
+KMeansResult::load(std::istream &is)
+{
+    std::string magic;
+    int version = 0;
+    is >> magic >> version;
+    boreas_assert(magic == "boreas-kmeans" && version == 1,
+                  "bad kmeans header");
+    size_t nk = 0;
+    is >> dim >> nk;
+    boreas_assert(dim > 0 && nk > 0, "bad kmeans shape");
+    centroids.assign(dim * nk, 0.0);
+    for (double &v : centroids)
+        is >> v;
+    assignments.clear();
+    inertia = 0.0;
+    iterations = 0;
+    boreas_assert(is.good() || is.eof(), "truncated kmeans model");
+}
+
+} // namespace boreas

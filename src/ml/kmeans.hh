@@ -1,0 +1,57 @@
+/**
+ * @file
+ * General n-dimensional k-means (Lloyd with k-means++ seeding).
+ *
+ * Used by the Cochran-Reda baseline to form workload-phase centroids in
+ * PCA space (Sec. IV-C). The 2-D sensor-placement clustering in
+ * sensors/placement is a separate, geometry-specialized implementation.
+ */
+
+#ifndef BOREAS_ML_KMEANS_HH
+#define BOREAS_ML_KMEANS_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace boreas
+{
+
+/** Result of a k-means run. */
+struct KMeansResult
+{
+    size_t dim = 0;
+    std::vector<double> centroids;  ///< k x dim, row-major
+    std::vector<int> assignments;   ///< per input row
+    double inertia = 0.0;           ///< sum of squared distances
+    int iterations = 0;
+
+    size_t k() const { return dim == 0 ? 0 : centroids.size() / dim; }
+
+    /** Index of the closest centroid to a point. */
+    int nearest(const double *x) const;
+
+    /** Serialize centroids (assignments/inertia are not persisted). */
+    void save(std::ostream &os) const;
+
+    /** Deserialize; panics on malformed input. */
+    void load(std::istream &is);
+};
+
+/**
+ * Cluster n rows of d features into k clusters.
+ *
+ * @param x_rowmajor n*d values
+ * @param dim d
+ * @param k cluster count (k <= n required)
+ * @param rng seeding source
+ * @param max_iters Lloyd iteration cap
+ */
+KMeansResult kmeans(const std::vector<double> &x_rowmajor, size_t dim,
+                    size_t k, Rng &rng, int max_iters = 200);
+
+} // namespace boreas
+
+#endif // BOREAS_ML_KMEANS_HH

@@ -1,0 +1,116 @@
+#include "ml/linreg.hh"
+
+#include <istream>
+#include <ostream>
+
+#include "common/logging.hh"
+#include "common/matrix.hh"
+
+namespace boreas
+{
+
+void
+LinearRegression::fit(const Dataset &data, double ridge)
+{
+    std::vector<double> x;
+    x.reserve(data.numRows() * data.numFeatures());
+    for (size_t r = 0; r < data.numRows(); ++r)
+        x.insert(x.end(), data.row(r), data.row(r) + data.numFeatures());
+    fit(x, data.numFeatures(), data.targets(), ridge);
+}
+
+void
+LinearRegression::fit(const std::vector<double> &x_rowmajor,
+                      size_t num_features, const std::vector<double> &y,
+                      double ridge)
+{
+    const size_t n = y.size();
+    boreas_assert(n > 0 && num_features > 0, "empty fit data");
+    boreas_assert(x_rowmajor.size() == n * num_features,
+                  "X size mismatch");
+
+    // Augment with an intercept column: solve (A^T A + ridge I) w = A^T y
+    // where A = [X | 1].
+    const size_t d = num_features + 1;
+    Matrix ata(d, d);
+    std::vector<double> aty(d, 0.0);
+    for (size_t r = 0; r < n; ++r) {
+        const double *row = x_rowmajor.data() + r * num_features;
+        for (size_t i = 0; i < num_features; ++i) {
+            for (size_t j = i; j < num_features; ++j)
+                ata.at(i, j) += row[i] * row[j];
+            ata.at(i, num_features) += row[i];
+            aty[i] += row[i] * y[r];
+        }
+        ata.at(num_features, num_features) += 1.0;
+        aty[num_features] += y[r];
+    }
+    // Mirror the upper triangle and apply the ridge (not the intercept).
+    for (size_t i = 0; i < d; ++i)
+        for (size_t j = i + 1; j < d; ++j)
+            ata.at(j, i) = ata.at(i, j);
+    for (size_t i = 0; i < num_features; ++i)
+        ata.at(i, i) += ridge;
+
+    const std::vector<double> w = Matrix::solve(ata, aty);
+    weights_.assign(w.begin(), w.begin() + num_features);
+    intercept_ = w[num_features];
+}
+
+double
+LinearRegression::predict(const double *x) const
+{
+    double acc = intercept_;
+    for (size_t i = 0; i < weights_.size(); ++i)
+        acc += weights_[i] * x[i];
+    return acc;
+}
+
+double
+LinearRegression::predict(const std::vector<double> &x) const
+{
+    boreas_assert(x.size() == weights_.size(),
+                  "feature size %zu != %zu", x.size(), weights_.size());
+    return predict(x.data());
+}
+
+double
+LinearRegression::mse(const Dataset &data) const
+{
+    boreas_assert(data.numFeatures() == weights_.size() &&
+                  data.numRows() > 0, "bad eval dataset");
+    double acc = 0.0;
+    for (size_t r = 0; r < data.numRows(); ++r) {
+        const double d = predict(data.row(r)) - data.y(r);
+        acc += d * d;
+    }
+    return acc / static_cast<double>(data.numRows());
+}
+
+void
+LinearRegression::save(std::ostream &os) const
+{
+    os.precision(17);
+    os << "boreas-linreg 1\n";
+    os << weights_.size() << " " << intercept_ << "\n";
+    for (double w : weights_)
+        os << w << "\n";
+}
+
+void
+LinearRegression::load(std::istream &is)
+{
+    std::string magic;
+    int version = 0;
+    is >> magic >> version;
+    boreas_assert(magic == "boreas-linreg" && version == 1,
+                  "bad linreg header");
+    size_t n = 0;
+    is >> n >> intercept_;
+    weights_.assign(n, 0.0);
+    for (double &w : weights_)
+        is >> w;
+    boreas_assert(is.good() || is.eof(), "truncated linreg model");
+}
+
+} // namespace boreas

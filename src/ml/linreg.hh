@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ridge-regularized linear regression (closed form).
+ *
+ * Used by the Cochran-Reda baseline (Sec. IV-C): per workload phase, a
+ * linear model predicts future temperature from the phase's principal
+ * components. Also handy as a sanity baseline against the GBT.
+ */
+
+#ifndef BOREAS_ML_LINREG_HH
+#define BOREAS_ML_LINREG_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "ml/dataset.hh"
+
+namespace boreas
+{
+
+/** Linear model y = w . x + b, fit by ridge least squares. */
+class LinearRegression
+{
+  public:
+    /**
+     * Fit on (rows x features, targets). ridge adds lambda*I to the
+     * normal equations (never applied to the intercept).
+     */
+    void fit(const Dataset &data, double ridge = 1e-6);
+
+    /** Fit from raw arrays (row-major X). */
+    void fit(const std::vector<double> &x_rowmajor, size_t num_features,
+             const std::vector<double> &y, double ridge = 1e-6);
+
+    bool trained() const { return !weights_.empty(); }
+    const std::vector<double> &weights() const { return weights_; }
+    double intercept() const { return intercept_; }
+
+    double predict(const double *x) const;
+    double predict(const std::vector<double> &x) const;
+
+    /** MSE over a dataset with matching feature order. */
+    double mse(const Dataset &data) const;
+
+    /** Serialize to a line-oriented text format. */
+    void save(std::ostream &os) const;
+
+    /** Deserialize; panics on malformed input. */
+    void load(std::istream &is);
+
+  private:
+    std::vector<double> weights_;
+    double intercept_ = 0.0;
+};
+
+} // namespace boreas
+
+#endif // BOREAS_ML_LINREG_HH

@@ -1,0 +1,160 @@
+#include "ml/pca.hh"
+
+#include <istream>
+#include <ostream>
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace boreas
+{
+
+void
+PCA::fit(const std::vector<double> &x, size_t d, size_t k)
+{
+    boreas_assert(d > 0 && x.size() % d == 0, "bad PCA input shape");
+    const size_t n = x.size() / d;
+    boreas_assert(n >= 2, "PCA needs >= 2 rows");
+    boreas_assert(k >= 1 && k <= d, "bad component count %zu", k);
+
+    mean_.assign(d, 0.0);
+    scale_.assign(d, 1.0);
+    for (size_t r = 0; r < n; ++r)
+        for (size_t j = 0; j < d; ++j)
+            mean_[j] += x[r * d + j];
+    for (size_t j = 0; j < d; ++j)
+        mean_[j] /= static_cast<double>(n);
+
+    std::vector<double> var(d, 0.0);
+    for (size_t r = 0; r < n; ++r) {
+        for (size_t j = 0; j < d; ++j) {
+            const double c = x[r * d + j] - mean_[j];
+            var[j] += c * c;
+        }
+    }
+    for (size_t j = 0; j < d; ++j) {
+        var[j] /= static_cast<double>(n);
+        scale_[j] = var[j] > 1e-18 ? std::sqrt(var[j]) : 1.0;
+    }
+
+    // Covariance of the standardized data.
+    Matrix cov(d, d);
+    std::vector<double> z(d);
+    for (size_t r = 0; r < n; ++r) {
+        for (size_t j = 0; j < d; ++j)
+            z[j] = (x[r * d + j] - mean_[j]) / scale_[j];
+        for (size_t i = 0; i < d; ++i)
+            for (size_t j = i; j < d; ++j)
+                cov.at(i, j) += z[i] * z[j];
+    }
+    for (size_t i = 0; i < d; ++i)
+        for (size_t j = i; j < d; ++j) {
+            cov.at(i, j) /= static_cast<double>(n);
+            cov.at(j, i) = cov.at(i, j);
+        }
+
+    std::vector<double> eigvals;
+    Matrix eigvecs;
+    cov.symmetricEigen(eigvals, eigvecs);
+
+    components_ = Matrix(k, d);
+    for (size_t c = 0; c < k; ++c)
+        for (size_t j = 0; j < d; ++j)
+            components_.at(c, j) = eigvecs.at(j, c);
+
+    double total = 0.0;
+    for (double v : eigvals)
+        total += std::max(0.0, v);
+    explained_.assign(k, 0.0);
+    for (size_t c = 0; c < k; ++c)
+        explained_[c] = total > 0.0 ? std::max(0.0, eigvals[c]) / total
+                                    : 0.0;
+}
+
+std::vector<double>
+PCA::transform(const double *x) const
+{
+    const size_t d = mean_.size();
+    const size_t k = components_.rows();
+    std::vector<double> out(k, 0.0);
+    for (size_t c = 0; c < k; ++c) {
+        double acc = 0.0;
+        for (size_t j = 0; j < d; ++j)
+            acc += components_.at(c, j) * (x[j] - mean_[j]) / scale_[j];
+        out[c] = acc;
+    }
+    return out;
+}
+
+std::vector<double>
+PCA::transform(const std::vector<double> &x) const
+{
+    boreas_assert(x.size() == mean_.size(), "bad transform width");
+    return transform(x.data());
+}
+
+std::vector<double>
+PCA::transformAll(const std::vector<double> &x) const
+{
+    const size_t d = mean_.size();
+    boreas_assert(d > 0 && x.size() % d == 0, "bad transform shape");
+    const size_t n = x.size() / d;
+    const size_t k = components_.rows();
+    std::vector<double> out;
+    out.reserve(n * k);
+    for (size_t r = 0; r < n; ++r) {
+        const auto z = transform(x.data() + r * d);
+        out.insert(out.end(), z.begin(), z.end());
+    }
+    return out;
+}
+
+void
+PCA::save(std::ostream &os) const
+{
+    os.precision(17);
+    os << "boreas-pca 1\n";
+    const size_t d = mean_.size();
+    const size_t k = components_.rows();
+    os << d << " " << k << "\n";
+    for (double v : mean_)
+        os << v << "\n";
+    for (double v : scale_)
+        os << v << "\n";
+    for (size_t c = 0; c < k; ++c)
+        for (size_t j = 0; j < d; ++j)
+            os << components_.at(c, j) << "\n";
+    for (double v : explained_)
+        os << v << "\n";
+}
+
+void
+PCA::load(std::istream &is)
+{
+    std::string magic;
+    int version = 0;
+    is >> magic >> version;
+    boreas_assert(magic == "boreas-pca" && version == 1,
+                  "bad PCA header");
+    size_t d = 0, k = 0;
+    is >> d >> k;
+    boreas_assert(d > 0 && k > 0 && k <= d, "bad PCA shape");
+    mean_.assign(d, 0.0);
+    scale_.assign(d, 1.0);
+    for (double &v : mean_)
+        is >> v;
+    for (double &v : scale_)
+        is >> v;
+    components_ = Matrix(k, d);
+    for (size_t c = 0; c < k; ++c)
+        for (size_t j = 0; j < d; ++j)
+            is >> components_.at(c, j);
+    explained_.assign(k, 0.0);
+    for (double &v : explained_)
+        is >> v;
+    boreas_assert(is.good() || is.eof(), "truncated PCA model");
+}
+
+} // namespace boreas
+

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Principal Component Analysis.
+ *
+ * The Cochran-Reda baseline (Sec. IV-C) reduces raw performance-counter
+ * dimensionality with PCA before phase clustering; this is a standard
+ * covariance-eigendecomposition implementation (Jacobi) with
+ * standardization of inputs.
+ */
+
+#ifndef BOREAS_ML_PCA_HH
+#define BOREAS_ML_PCA_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "common/matrix.hh"
+
+namespace boreas
+{
+
+/** PCA projector fit on row-major data. */
+class PCA
+{
+  public:
+    /**
+     * Fit on n rows of d standardized features, keeping k components.
+     * Features with zero variance are kept but contribute nothing.
+     */
+    void fit(const std::vector<double> &x_rowmajor, size_t num_features,
+             size_t num_components);
+
+    bool trained() const { return components_.rows() > 0; }
+    size_t numComponents() const { return components_.rows(); }
+    size_t numFeatures() const { return mean_.size(); }
+
+    /** Fraction of total variance captured by each kept component. */
+    const std::vector<double> &explainedVariance() const
+    {
+        return explained_;
+    }
+
+    /** Project one row into component space. */
+    std::vector<double> transform(const double *x) const;
+    std::vector<double> transform(const std::vector<double> &x) const;
+
+    /** Project many rows (row-major in, row-major out). */
+    std::vector<double> transformAll(
+        const std::vector<double> &x_rowmajor) const;
+
+    /** Serialize to a line-oriented text format. */
+    void save(std::ostream &os) const;
+
+    /** Deserialize; panics on malformed input. */
+    void load(std::istream &is);
+
+  private:
+    std::vector<double> mean_;
+    std::vector<double> scale_; ///< per-feature std (1 if degenerate)
+    Matrix components_;         ///< k x d, rows are components
+    std::vector<double> explained_;
+};
+
+} // namespace boreas
+
+#endif // BOREAS_ML_PCA_HH

@@ -1,0 +1,91 @@
+#include "power/vf_table.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace boreas
+{
+
+const std::vector<std::pair<GHz, Volts>> &
+VFTable::anchors()
+{
+    // Table I of the paper.
+    static const std::vector<std::pair<GHz, Volts>> kAnchors = {
+        {2.0, 0.64}, {2.5, 0.71}, {3.0, 0.77}, {3.5, 0.87},
+        {4.0, 0.98}, {4.5, 1.15}, {5.0, 1.40},
+    };
+    return kAnchors;
+}
+
+VFTable::VFTable()
+{
+    for (GHz f = kMinFrequency; f <= kMaxFrequency + 1e-9;
+         f += kFrequencyStep) {
+        freqs_.push_back(f);
+        // Interpolate voltage between the Table I anchors.
+        const auto &a = anchors();
+        Volts v = a.back().second;
+        for (size_t i = 0; i + 1 < a.size(); ++i) {
+            if (f <= a[i + 1].first + 1e-9) {
+                const double t = (f - a[i].first) /
+                    (a[i + 1].first - a[i].first);
+                v = a[i].second + t * (a[i + 1].second - a[i].second);
+                break;
+            }
+        }
+        volts_.push_back(v);
+    }
+}
+
+GHz
+VFTable::frequency(int idx) const
+{
+    boreas_assert(idx >= 0 && idx < numPoints(), "bad VF index %d", idx);
+    return freqs_[idx];
+}
+
+Volts
+VFTable::voltage(GHz freq) const
+{
+    return volts_[index(freq)];
+}
+
+int
+VFTable::index(GHz freq) const
+{
+    const double raw = (freq - kMinFrequency) / kFrequencyStep;
+    const int idx = static_cast<int>(std::lround(raw));
+    boreas_assert(idx >= 0 && idx < numPoints() &&
+                  std::fabs(raw - idx) < 1e-6,
+                  "frequency %.3f GHz not on the 250 MHz grid", freq);
+    return idx;
+}
+
+GHz
+VFTable::clamp(GHz freq) const
+{
+    if (freq <= kMinFrequency)
+        return kMinFrequency;
+    if (freq >= kMaxFrequency)
+        return kMaxFrequency;
+    const int idx = static_cast<int>(
+        std::floor((freq - kMinFrequency) / kFrequencyStep + 1e-9));
+    return freqs_[idx];
+}
+
+GHz
+VFTable::stepUp(GHz freq) const
+{
+    const int idx = index(freq);
+    return freqs_[std::min(idx + 1, numPoints() - 1)];
+}
+
+GHz
+VFTable::stepDown(GHz freq) const
+{
+    const int idx = index(freq);
+    return freqs_[std::max(idx - 1, 0)];
+}
+
+} // namespace boreas

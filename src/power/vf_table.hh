@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The voltage/frequency operating points of the modeled 7 nm processor.
+ *
+ * Table I of the paper anchors seven VF pairs from 2.0 GHz / 0.64 V to
+ * 5.0 GHz / 1.4 V; the evaluation sweeps frequency in 250 MHz steps
+ * (Sec. III-A), so intermediate points interpolate voltage linearly
+ * between anchors.
+ */
+
+#ifndef BOREAS_POWER_VF_TABLE_HH
+#define BOREAS_POWER_VF_TABLE_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace boreas
+{
+
+/** The DVFS operating-point table. */
+class VFTable
+{
+  public:
+    /** Build the paper's Table I (2.0-5.0 GHz in 250 MHz steps). */
+    VFTable();
+
+    /** Number of operating points (13). */
+    int numPoints() const { return static_cast<int>(freqs_.size()); }
+
+    /** Frequency of operating point idx (ascending). */
+    GHz frequency(int idx) const;
+
+    /** Supply voltage at the given frequency (interpolated). */
+    Volts voltage(GHz freq) const;
+
+    /** Index of the operating point for freq; panics if off-grid. */
+    int index(GHz freq) const;
+
+    /** Nearest on-grid point at or below freq (clamped to range). */
+    GHz clamp(GHz freq) const;
+
+    /** All grid frequencies, ascending. */
+    const std::vector<GHz> &frequencies() const { return freqs_; }
+
+    /** One step (250 MHz) up/down, clamped to the table range. */
+    GHz stepUp(GHz freq) const;
+    GHz stepDown(GHz freq) const;
+
+    /** The paper's seven anchor pairs (for Table I reproduction). */
+    static const std::vector<std::pair<GHz, Volts>> &anchors();
+
+  private:
+    std::vector<GHz> freqs_;
+    std::vector<Volts> volts_;
+};
+
+} // namespace boreas
+
+#endif // BOREAS_POWER_VF_TABLE_HH

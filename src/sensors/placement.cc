@@ -1,0 +1,118 @@
+#include "sensors/placement.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace boreas
+{
+
+std::vector<Point>
+kmeansPlacement(const std::vector<Point> &sites, int k, Rng &rng,
+                int iters)
+{
+    boreas_assert(k > 0, "k must be positive");
+    boreas_assert(static_cast<int>(sites.size()) >= k,
+                  "need at least k=%d sites, have %zu", k, sites.size());
+
+    // k-means++ initialization.
+    std::vector<Point> centers;
+    centers.push_back(sites[rng.uniformInt(
+        0, static_cast<int>(sites.size()) - 1)]);
+    std::vector<double> d2(sites.size());
+    while (static_cast<int>(centers.size()) < k) {
+        double total = 0.0;
+        for (size_t i = 0; i < sites.size(); ++i) {
+            double best = std::numeric_limits<double>::max();
+            for (const auto &c : centers) {
+                const double d = distance(sites[i], c);
+                best = std::min(best, d * d);
+            }
+            d2[i] = best;
+            total += best;
+        }
+        if (total <= 0.0) {
+            // All sites coincide with centers; duplicate one.
+            centers.push_back(sites[0]);
+            continue;
+        }
+        double pick = rng.uniform() * total;
+        size_t chosen = sites.size() - 1;
+        for (size_t i = 0; i < sites.size(); ++i) {
+            pick -= d2[i];
+            if (pick <= 0.0) {
+                chosen = i;
+                break;
+            }
+        }
+        centers.push_back(sites[chosen]);
+    }
+
+    // Lloyd iterations.
+    std::vector<int> assign(sites.size(), 0);
+    for (int it = 0; it < iters; ++it) {
+        bool changed = false;
+        for (size_t i = 0; i < sites.size(); ++i) {
+            double best = std::numeric_limits<double>::max();
+            int best_c = 0;
+            for (int c = 0; c < k; ++c) {
+                const double d = distance(sites[i], centers[c]);
+                if (d < best) {
+                    best = d;
+                    best_c = c;
+                }
+            }
+            if (assign[i] != best_c) {
+                assign[i] = best_c;
+                changed = true;
+            }
+        }
+        if (!changed && it > 0)
+            break;
+        std::vector<Point> sums(k);
+        std::vector<int> counts(k, 0);
+        for (size_t i = 0; i < sites.size(); ++i) {
+            sums[assign[i]].x += sites[i].x;
+            sums[assign[i]].y += sites[i].y;
+            ++counts[assign[i]];
+        }
+        for (int c = 0; c < k; ++c) {
+            if (counts[c] > 0) {
+                centers[c] = {sums[c].x / counts[c],
+                              sums[c].y / counts[c]};
+            }
+        }
+    }
+    return centers;
+}
+
+std::vector<Point>
+canonicalSensorSites(const Floorplan &floorplan, int core_id)
+{
+    auto unit_center = [&](UnitKind kind, int cid) {
+        const int idx = floorplan.findUnit(kind, cid);
+        boreas_assert(idx >= 0, "floorplan lacks unit kind %s",
+                      unitKindName(kind));
+        return floorplan.unit(idx).rect.center();
+    };
+
+    std::vector<Point> sites;
+    // tsens00: edge of the data cache — sees the core but far from EX.
+    sites.push_back(unit_center(UnitKind::DCache, core_id));
+    // tsens01: scheduler — mid-core.
+    sites.push_back(unit_center(UnitKind::Scheduler, core_id));
+    // tsens02: FPU — next to the hot cluster.
+    sites.push_back(unit_center(UnitKind::FPU, core_id));
+    // tsens03: the ALUs in the EX stage — the paper's best sensor.
+    sites.push_back(unit_center(UnitKind::IntALU, core_id));
+    // tsens04: the core's L2 — thermally sluggish.
+    sites.push_back(unit_center(UnitKind::L2, core_id));
+    // tsens05: L3 — only sees global warming of the die.
+    sites.push_back(unit_center(UnitKind::L3, -1));
+    // tsens06: SoC corner — farthest from the active core.
+    sites.push_back(unit_center(UnitKind::SoC, -1));
+    return sites;
+}
+
+} // namespace boreas

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Sensor placement.
+ *
+ * The paper places sensors "using K-means clustering to identify common
+ * areas on the core where hotspots arise" (Sec. III-A). kmeansPlacement()
+ * implements that: feed it the peak-severity locations observed across
+ * characterization runs and it returns k cluster centers.
+ *
+ * canonicalSensorSites() returns the fixed 7-site bank used throughout
+ * the evaluation (Fig. 5): tsens00-03 on the active core with increasing
+ * fidelity (tsens03 adjacent to the ALUs in the EX stage — the paper's
+ * best sensor), and tsens04-06 placed away from the action (far cache /
+ * L3 / SoC), which is why they only see the chip slowly warming.
+ */
+
+#ifndef BOREAS_SENSORS_PLACEMENT_HH
+#define BOREAS_SENSORS_PLACEMENT_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "floorplan/floorplan.hh"
+
+namespace boreas
+{
+
+/**
+ * K-means clustering of 2-D hotspot locations.
+ *
+ * @param sites observed hotspot locations
+ * @param k number of sensors to place
+ * @param rng seeding source (k-means++ initialization)
+ * @param iters maximum Lloyd iterations
+ * @return k cluster centers (sensor sites)
+ */
+std::vector<Point> kmeansPlacement(const std::vector<Point> &sites, int k,
+                                   Rng &rng, int iters = 100);
+
+/** The evaluation's 7 canonical sensor sites on/around the given core. */
+std::vector<Point> canonicalSensorSites(const Floorplan &floorplan,
+                                        int core_id);
+
+/** Index of the paper's "best" sensor (near the ALUs): tsens03. */
+constexpr int kBestSensorIndex = 3;
+
+} // namespace boreas
+
+#endif // BOREAS_SENSORS_PLACEMENT_HH

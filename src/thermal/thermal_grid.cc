@@ -1,0 +1,278 @@
+#include "thermal/thermal_grid.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace boreas
+{
+
+ThermalGrid::ThermalGrid(const Floorplan &floorplan,
+                         const ThermalParams &params)
+    : floorplan_(&floorplan), params_(params)
+{
+    boreas_assert(params_.nx >= 4 && params_.ny >= 4,
+                  "grid too small: %dx%d", params_.nx, params_.ny);
+    unitMaps_ = floorplan_->rasterize(params_.nx, params_.ny);
+    computeConstants();
+    reset(params_.ambient);
+    pCell_.assign(numCells(), 0.0);
+}
+
+void
+ThermalGrid::computeConstants()
+{
+    const Meters cw = floorplan_->dieWidth() / params_.nx;
+    const Meters ch = floorplan_->dieHeight() / params_.ny;
+    boreas_assert(std::fabs(cw - ch) / cw < 0.05,
+                  "thermal grid cells should be near-square");
+    const double cell_area = cw * ch;
+
+    // Lateral conductance between adjacent square cells of a sheet with
+    // conductivity k and thickness t is G = k * t (the cell length and
+    // width cancel).
+    gLatSi_ = params_.siConductivity * params_.siThickness;
+    gLatSp_ = params_.cuConductivity * params_.spreaderThickness;
+
+    // Vertical: silicon half-thickness + TIM + spreader half-thickness
+    // in series, per cell area.
+    const double r_si = 0.5 * params_.siThickness /
+        (params_.siConductivity * cell_area);
+    const double r_tim = params_.timThickness /
+        (params_.timConductivity * cell_area);
+    const double r_sp = 0.5 * params_.spreaderThickness /
+        (params_.cuConductivity * cell_area);
+    gVert_ = 1.0 / (r_si + r_tim + r_sp);
+
+    gSinkCell_ = 1.0 /
+        (params_.sinkSpreadResistance * numCells());
+
+    cSi_ = params_.siVolHeatCap * cell_area * params_.siThickness;
+    cSp_ = params_.cuVolHeatCap * cell_area * params_.spreaderThickness;
+
+    // Explicit-integration stability: dt < C / sum(G) per node; take the
+    // tightest bound over node types and apply the safety factor.
+    const double gsi = 4.0 * gLatSi_ + gVert_;
+    const double gsp = 4.0 * gLatSp_ + gVert_ + gSinkCell_;
+    const double dt_si = cSi_ / gsi;
+    const double dt_sp = cSp_ / gsp;
+    dtMax_ = params_.dtSafety * std::min(dt_si, dt_sp);
+    boreas_assert(dtMax_ > 0.0, "bad stability bound");
+}
+
+void
+ThermalGrid::reset(Celsius uniform)
+{
+    tSi_.assign(numCells(), uniform);
+    tSp_.assign(numCells(), uniform);
+    tSink_ = uniform;
+    newSi_.assign(numCells(), 0.0);
+    newSp_.assign(numCells(), 0.0);
+}
+
+void
+ThermalGrid::setUnitPower(const std::vector<Watts> &unit_power)
+{
+    boreas_assert(unit_power.size() == floorplan_->numUnits(),
+                  "unit power size %zu != %zu units",
+                  unit_power.size(), floorplan_->numUnits());
+    std::fill(pCell_.begin(), pCell_.end(), 0.0);
+    for (size_t u = 0; u < unit_power.size(); ++u) {
+        const UnitCellMap &map = unitMaps_[u];
+        const Watts p = unit_power[u];
+        for (size_t k = 0; k < map.cells.size(); ++k)
+            pCell_[map.cells[k]] += p * map.fractions[k];
+    }
+}
+
+void
+ThermalGrid::step(Seconds dt)
+{
+    boreas_assert(dt > 0.0, "bad dt");
+    const int substeps = std::max(
+        1, static_cast<int>(std::ceil(dt / dtMax_)));
+    const double h = dt / substeps;
+
+    const int nx = params_.nx;
+    const int ny = params_.ny;
+    const double inv_csi = h / cSi_;
+    const double inv_csp = h / cSp_;
+
+    for (int s = 0; s < substeps; ++s) {
+        double sink_flux = 0.0;
+        for (int y = 0; y < ny; ++y) {
+            const int row = y * nx;
+            for (int x = 0; x < nx; ++x) {
+                const int i = row + x;
+                const double tsi = tSi_[i];
+                const double tsp = tSp_[i];
+
+                // Silicon node: lateral + vertical + injected power.
+                double flux = pCell_[i] + gVert_ * (tsp - tsi);
+                if (x > 0)
+                    flux += gLatSi_ * (tSi_[i - 1] - tsi);
+                if (x < nx - 1)
+                    flux += gLatSi_ * (tSi_[i + 1] - tsi);
+                if (y > 0)
+                    flux += gLatSi_ * (tSi_[i - nx] - tsi);
+                if (y < ny - 1)
+                    flux += gLatSi_ * (tSi_[i + nx] - tsi);
+                newSi_[i] = tsi + inv_csi * flux;
+
+                // Spreader node.
+                double fsp = gVert_ * (tsi - tsp) +
+                    gSinkCell_ * (tSink_ - tsp);
+                if (x > 0)
+                    fsp += gLatSp_ * (tSp_[i - 1] - tsp);
+                if (x < nx - 1)
+                    fsp += gLatSp_ * (tSp_[i + 1] - tsp);
+                if (y > 0)
+                    fsp += gLatSp_ * (tSp_[i - nx] - tsp);
+                if (y < ny - 1)
+                    fsp += gLatSp_ * (tSp_[i + nx] - tsp);
+                newSp_[i] = tsp + inv_csp * fsp;
+
+                sink_flux += gSinkCell_ * (tsp - tSink_);
+            }
+        }
+        sink_flux += (params_.ambient - tSink_) /
+            params_.sinkAmbientResistance;
+        tSink_ += h / params_.sinkCapacitance * sink_flux;
+
+        tSi_.swap(newSi_);
+        tSp_.swap(newSp_);
+    }
+}
+
+int
+ThermalGrid::solveSteadyState(double tolerance, int max_sweeps)
+{
+    const int nx = params_.nx;
+    const int ny = params_.ny;
+    constexpr double omega = 1.85; // SOR over-relaxation
+
+    int sweep = 0;
+    for (; sweep < max_sweeps; ++sweep) {
+        double max_delta = 0.0;
+
+        for (int y = 0; y < ny; ++y) {
+            const int row = y * nx;
+            for (int x = 0; x < nx; ++x) {
+                const int i = row + x;
+
+                // Silicon.
+                double num = pCell_[i] + gVert_ * tSp_[i];
+                double den = gVert_;
+                if (x > 0) { num += gLatSi_ * tSi_[i - 1]; den += gLatSi_; }
+                if (x < nx - 1) {
+                    num += gLatSi_ * tSi_[i + 1]; den += gLatSi_;
+                }
+                if (y > 0) { num += gLatSi_ * tSi_[i - nx]; den += gLatSi_; }
+                if (y < ny - 1) {
+                    num += gLatSi_ * tSi_[i + nx]; den += gLatSi_;
+                }
+                double t_new = num / den;
+                t_new = tSi_[i] + omega * (t_new - tSi_[i]);
+                max_delta = std::max(max_delta,
+                                     std::fabs(t_new - tSi_[i]));
+                tSi_[i] = t_new;
+
+                // Spreader.
+                num = gVert_ * tSi_[i] + gSinkCell_ * tSink_;
+                den = gVert_ + gSinkCell_;
+                if (x > 0) { num += gLatSp_ * tSp_[i - 1]; den += gLatSp_; }
+                if (x < nx - 1) {
+                    num += gLatSp_ * tSp_[i + 1]; den += gLatSp_;
+                }
+                if (y > 0) { num += gLatSp_ * tSp_[i - nx]; den += gLatSp_; }
+                if (y < ny - 1) {
+                    num += gLatSp_ * tSp_[i + nx]; den += gLatSp_;
+                }
+                t_new = num / den;
+                t_new = tSp_[i] + omega * (t_new - tSp_[i]);
+                max_delta = std::max(max_delta,
+                                     std::fabs(t_new - tSp_[i]));
+                tSp_[i] = t_new;
+            }
+        }
+
+        // Sink node.
+        double num = params_.ambient / params_.sinkAmbientResistance;
+        double den = 1.0 / params_.sinkAmbientResistance;
+        for (int i = 0; i < numCells(); ++i) {
+            num += gSinkCell_ * tSp_[i];
+            den += gSinkCell_;
+        }
+        const double t_new = num / den;
+        max_delta = std::max(max_delta, std::fabs(t_new - tSink_));
+        tSink_ = t_new;
+
+        if (max_delta < tolerance)
+            break;
+    }
+    return sweep;
+}
+
+Celsius
+ThermalGrid::maxSiliconTemp() const
+{
+    return *std::max_element(tSi_.begin(), tSi_.end());
+}
+
+int
+ThermalGrid::cellAt(const Point &p) const
+{
+    const Meters cw = floorplan_->dieWidth() / params_.nx;
+    const Meters ch = floorplan_->dieHeight() / params_.ny;
+    int cx = static_cast<int>(p.x / cw);
+    int cy = static_cast<int>(p.y / ch);
+    cx = std::clamp(cx, 0, params_.nx - 1);
+    cy = std::clamp(cy, 0, params_.ny - 1);
+    return cy * params_.nx + cx;
+}
+
+Celsius
+ThermalGrid::temperatureAt(const Point &p) const
+{
+    return tSi_[cellAt(p)];
+}
+
+Point
+ThermalGrid::cellCenter(int cell) const
+{
+    const Meters cw = floorplan_->dieWidth() / params_.nx;
+    const Meters ch = floorplan_->dieHeight() / params_.ny;
+    const int cx = cell % params_.nx;
+    const int cy = cell / params_.nx;
+    return {(cx + 0.5) * cw, (cy + 0.5) * ch};
+}
+
+std::vector<Celsius>
+ThermalGrid::unitTemps() const
+{
+    std::vector<Celsius> temps(floorplan_->numUnits(), params_.ambient);
+    for (size_t u = 0; u < unitMaps_.size(); ++u) {
+        const UnitCellMap &map = unitMaps_[u];
+        double acc = 0.0;
+        double wsum = 0.0;
+        for (size_t k = 0; k < map.cells.size(); ++k) {
+            acc += tSi_[map.cells[k]] * map.fractions[k];
+            wsum += map.fractions[k];
+        }
+        if (wsum > 0.0)
+            temps[u] = acc / wsum;
+    }
+    return temps;
+}
+
+Watts
+ThermalGrid::totalPower() const
+{
+    Watts total = 0.0;
+    for (Watts p : pCell_)
+        total += p;
+    return total;
+}
+
+} // namespace boreas

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Compact transient thermal model of the die stack.
+ *
+ * Same modelling class as HotSpot / 3D-ICE (and thus HotGauge): the die is
+ * discretized into an nx x ny grid with an RC network per cell. The stack
+ * has three levels:
+ *
+ *   silicon grid  --(TIM)-->  copper-spreader grid  -->  lumped heatsink
+ *                                                        --> ambient
+ *
+ * Each silicon cell has lateral conductances to its 4 neighbors and a
+ * vertical conductance through the TIM; spreader cells conduct laterally
+ * (copper, fast spreading) and into the sink; the sink is one
+ * high-capacitance node with a convection resistance to ambient.
+ *
+ * A thinned 7 nm-class die (default 100 um silicon) gives cell time
+ * constants of ~50 us, which is what makes *advanced* hotspots: local
+ * heating on the microsecond scale, far faster than sensor+DVFS loops.
+ *
+ * Transient integration is explicit with substeps bounded by the network
+ * stability limit; a steady-state SOR solve provides warm-start initial
+ * conditions.
+ */
+
+#ifndef BOREAS_THERMAL_THERMAL_GRID_HH
+#define BOREAS_THERMAL_THERMAL_GRID_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "floorplan/floorplan.hh"
+
+namespace boreas
+{
+
+/** Material and geometry parameters of the thermal stack. */
+struct ThermalParams
+{
+    int nx = 64;                    ///< grid cells in x
+    int ny = 64;                    ///< grid cells in y
+
+    Meters siThickness = 150e-6;    ///< thinned die
+    double siConductivity = 110.0;  ///< W/(m K)
+    double siVolHeatCap = 1.636e6;  ///< J/(m^3 K)
+
+    Meters timThickness = 25e-6;
+    double timConductivity = 4.0;   ///< W/(m K)
+
+    Meters spreaderThickness = 1.0e-3;
+    double cuConductivity = 400.0;
+    double cuVolHeatCap = 3.45e6;
+
+    /** Spreader-to-sink spreading resistance (whole chip), K/W. */
+    double sinkSpreadResistance = 0.22;
+    /** Sink-to-ambient convection resistance, K/W. */
+    double sinkAmbientResistance = 0.20;
+    /** Lumped heatsink capacitance, J/K. */
+    double sinkCapacitance = 150.0;
+
+    Celsius ambient = kAmbient;
+
+    /** Safety factor on the explicit-integration stability bound. */
+    double dtSafety = 0.4;
+};
+
+/** The thermal solver. */
+class ThermalGrid
+{
+  public:
+    ThermalGrid(const Floorplan &floorplan,
+                const ThermalParams &params = {});
+
+    const ThermalParams &params() const { return params_; }
+    int nx() const { return params_.nx; }
+    int ny() const { return params_.ny; }
+    int numCells() const { return params_.nx * params_.ny; }
+
+    /** Largest stable explicit substep (with the safety factor). */
+    Seconds maxStableDt() const { return dtMax_; }
+
+    /**
+     * Set the power map for the next integration interval from per-unit
+     * powers (indexed like Floorplan::units()); distributed over cells
+     * by area overlap.
+     */
+    void setUnitPower(const std::vector<Watts> &unit_power);
+
+    /** Advance the transient by dt (internally substepped). */
+    void step(Seconds dt);
+
+    /**
+     * Solve the steady state for the current power map (SOR iteration)
+     * and load it as the present thermal state. Used for warm-start
+     * initial conditions.
+     *
+     * @return number of sweeps used
+     */
+    int solveSteadyState(double tolerance = 1e-7, int max_sweeps = 50000);
+
+    /** Reset all nodes to a uniform temperature. */
+    void reset(Celsius uniform);
+
+    /** Silicon-layer temperatures, row-major (y * nx + x). */
+    const std::vector<Celsius> &siliconTemps() const { return tSi_; }
+
+    Celsius maxSiliconTemp() const;
+
+    /** Temperature of the silicon cell containing the point. */
+    Celsius temperatureAt(const Point &p) const;
+
+    /** Area-weighted mean silicon temperature of each functional unit. */
+    std::vector<Celsius> unitTemps() const;
+
+    /** Heatsink node temperature. */
+    Celsius sinkTemp() const { return tSink_; }
+
+    /** Total power currently injected, watts (diagnostics). */
+    Watts totalPower() const;
+
+    /** Cell center coordinates (for sensors / k-means placement). */
+    Point cellCenter(int cell) const;
+
+    /** Flat index of the cell containing the point. */
+    int cellAt(const Point &p) const;
+
+  private:
+    void computeConstants();
+
+    const Floorplan *floorplan_;
+    ThermalParams params_;
+
+    std::vector<UnitCellMap> unitMaps_;
+
+    // State.
+    std::vector<Celsius> tSi_;
+    std::vector<Celsius> tSp_;
+    Celsius tSink_;
+
+    // Power injected per silicon cell, watts.
+    std::vector<Watts> pCell_;
+
+    // Precomputed network constants.
+    double gLatSi_ = 0.0;   ///< silicon lateral conductance, W/K
+    double gVert_ = 0.0;    ///< silicon->spreader (TIM) per cell
+    double gLatSp_ = 0.0;   ///< spreader lateral conductance
+    double gSinkCell_ = 0.0;///< spreader cell -> sink
+    double cSi_ = 0.0;      ///< silicon cell capacitance, J/K
+    double cSp_ = 0.0;      ///< spreader cell capacitance
+    Seconds dtMax_ = 0.0;
+
+    // Scratch buffers for integration.
+    std::vector<double> newSi_;
+    std::vector<double> newSp_;
+};
+
+} // namespace boreas
+
+#endif // BOREAS_THERMAL_THERMAL_GRID_HH

@@ -1,0 +1,452 @@
+#include "workload/spec2006.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+
+namespace boreas
+{
+
+namespace
+{
+
+/** Shorthand: a phase with a dwell time. */
+WorkloadPhase
+ph(PhaseParams p, Seconds dwell, double jitter = 0.3)
+{
+    return {p, dwell, jitter};
+}
+
+/**
+ * Design-time oracle targets (GHz). These encode the Fig. 2 distribution:
+ * two workloads pinned at the 3.75 GHz global limit, a majority at
+ * 4.25 GHz (the paper's "majority ... 13% lower" when clamped to 3.75),
+ * and a 4.75 GHz tail (the paper's worst-case reduction), with gromacs
+ * and cactusADM explicitly safe at 4.75 GHz per Secs. III-D and IV.
+ */
+const std::map<std::string, GHz> kDesignOracle = {
+    {"povray", 3.75},    {"namd", 3.75},
+    {"hmmer", 4.00},     {"libquantum", 4.00}, {"lbm", 4.00},
+    {"calculix", 4.00},  {"wrf", 4.00},        {"leslie3d", 4.00},
+    {"milc", 4.25},      {"bwaves", 4.25},     {"gobmk", 4.25},
+    {"sjeng", 4.25},     {"perlbench", 4.25},  {"tonto", 4.25},
+    {"zeusmp", 4.25},    {"sphinx3", 4.25},    {"gamess", 4.25},
+    {"GemsFDTD", 4.25},  {"h264ref", 4.25},
+    {"soplex", 4.50},    {"gcc", 4.50},        {"astar", 4.50},
+    {"mcf", 4.75},       {"bzip2", 4.50},      {"omnetpp", 4.50},
+    {"gromacs", 4.75},   {"cactusADM", 4.75},
+};
+
+/**
+ * Calibrated per-workload dynamic-energy scales. Produced by
+ * tools/calibrate (binary search on peak severity at the design oracle
+ * frequency); regenerate after changing the thermal or power models.
+ */
+const std::map<std::string, double> kThermalScale = {
+    {"milc", 1.1558},      {"bwaves", 1.3191},   {"soplex", 1.2704},
+    {"gobmk", 1.2249},     {"sjeng", 1.3423},    {"leslie3d", 1.4504},
+    {"gcc", 2.1763},       {"calculix", 1.0565}, {"perlbench", 1.3928},
+    {"astar", 1.4522},     {"tonto", 0.8218},    {"zeusmp", 1.4244},
+    {"wrf", 1.3386},       {"lbm", 3.1217},      {"mcf", 2.4500},
+    {"sphinx3", 1.3682},   {"povray", 1.0556},   {"libquantum", 3.9998},
+    {"namd", 0.9313},      {"gromacs", 0.4456},  {"cactusADM", 0.8914},
+    {"omnetpp", 2.7432},   {"GemsFDTD", 1.3525}, {"h264ref", 1.1470},
+    {"bzip2", 1.3061},     {"hmmer", 0.8654},    {"gamess", 0.6678},
+};
+
+/** The Table III test-set membership. */
+bool
+isTestWorkload(const std::string &name)
+{
+    return name == "cactusADM" || name == "omnetpp" ||
+           name == "GemsFDTD" || name == "h264ref" || name == "bzip2" ||
+           name == "hmmer" || name == "gamess";
+}
+
+std::vector<WorkloadSpec>
+buildSuite()
+{
+    std::vector<WorkloadSpec> suite;
+    auto add = [&](std::string name, std::vector<WorkloadPhase> phases,
+                   PhasePattern pattern = PhasePattern::Cyclic) {
+        WorkloadSpec spec;
+        spec.name = std::move(name);
+        spec.phases = std::move(phases);
+        spec.pattern = pattern;
+        spec.thermalScale = kThermalScale.at(spec.name);
+        spec.testSet = isTestWorkload(spec.name);
+        spec.seedSalt = suite.size() + 1;
+        suite.push_back(std::move(spec));
+    };
+
+    // ---------------- training set (Table III) ----------------
+
+    // milc: FP lattice QCD; streaming memory with periodic compute.
+    add("milc", {
+        ph({.baseCpi = 1.0, .fpFraction = 0.40, .loadFraction = 0.32,
+            .storeFraction = 0.14, .branchFraction = 0.05,
+            .branchMpki = 1.0, .l1dMpki = 18, .l2Mpki = 7, .l3Mpki = 3.0,
+            .dtlbMpki = 2.0, .mlp = 3.0, .intensity = 0.95}, 2.5e-3),
+        ph({.baseCpi = 0.6, .fpFraction = 0.45, .loadFraction = 0.25,
+            .storeFraction = 0.10, .branchFraction = 0.05,
+            .branchMpki = 0.8, .l1dMpki = 6, .l2Mpki = 1.5, .l3Mpki = 0.4,
+            .intensity = 1.15}, 1.5e-3),
+    });
+
+    // bwaves: FP blast-wave CFD; long streaming phases, prefetch friendly.
+    add("bwaves", {
+        ph({.baseCpi = 0.9, .fpFraction = 0.45, .loadFraction = 0.34,
+            .storeFraction = 0.12, .branchFraction = 0.04,
+            .branchMpki = 0.6, .l1dMpki = 15, .l2Mpki = 7, .l3Mpki = 3.0,
+            .dtlbMpki = 1.5, .mlp = 3.5, .intensity = 1.0}, 3.0e-3),
+        ph({.baseCpi = 0.7, .fpFraction = 0.48, .loadFraction = 0.30,
+            .storeFraction = 0.10, .branchFraction = 0.04,
+            .branchMpki = 0.5, .l1dMpki = 9, .l2Mpki = 3, .l3Mpki = 1.0,
+            .mlp = 3.0, .intensity = 1.1}, 2.0e-3),
+    });
+
+    // soplex: sparse LP solver; irregular memory, moderate FP.
+    add("soplex", {
+        ph({.baseCpi = 1.0, .fpFraction = 0.25, .loadFraction = 0.33,
+            .storeFraction = 0.10, .branchFraction = 0.12,
+            .branchMpki = 5.0, .l1dMpki = 15, .l2Mpki = 6, .l3Mpki = 2.5,
+            .dtlbMpki = 3.0, .mlp = 1.8, .intensity = 0.95}, 2.0e-3),
+        ph({.baseCpi = 0.6, .fpFraction = 0.30, .loadFraction = 0.26,
+            .storeFraction = 0.08, .branchFraction = 0.10,
+            .branchMpki = 3.0, .l1dMpki = 5, .l2Mpki = 1.0, .l3Mpki = 0.3,
+            .intensity = 1.05}, 1.2e-3),
+    }, PhasePattern::Random);
+
+    // gobmk: Go AI; very branchy integer code.
+    add("gobmk", {
+        ph({.baseCpi = 0.7, .fpFraction = 0.01, .loadFraction = 0.26,
+            .storeFraction = 0.12, .branchFraction = 0.20,
+            .branchMpki = 12.0, .l1iMpki = 4, .l1dMpki = 6, .l2Mpki = 1.2,
+            .l3Mpki = 0.3, .itlbMpki = 0.6, .intensity = 1.0}, 1.5e-3),
+        ph({.baseCpi = 0.6, .fpFraction = 0.01, .loadFraction = 0.24,
+            .storeFraction = 0.10, .branchFraction = 0.22,
+            .branchMpki = 9.0, .l1iMpki = 3, .l1dMpki = 4, .l2Mpki = 0.8,
+            .l3Mpki = 0.2, .intensity = 1.08}, 1.0e-3),
+    }, PhasePattern::Random);
+
+    // sjeng: chess engine; steady branchy integer, no fast power spikes
+    // (the paper's slow-heating case study in Sec. III-D).
+    add("sjeng", {
+        ph({.baseCpi = 0.65, .fpFraction = 0.01, .loadFraction = 0.25,
+            .storeFraction = 0.11, .branchFraction = 0.18,
+            .branchMpki = 9.0, .l1iMpki = 2, .l1dMpki = 5, .l2Mpki = 1.0,
+            .l3Mpki = 0.25, .activityNoise = 0.015, .intensity = 1.0},
+           6.0e-3, 0.1),
+    });
+
+    // leslie3d: FP stencil; regular memory, moderately hot.
+    add("leslie3d", {
+        ph({.baseCpi = 0.8, .fpFraction = 0.40, .loadFraction = 0.32,
+            .storeFraction = 0.13, .branchFraction = 0.04,
+            .branchMpki = 0.8, .l1dMpki = 12, .l2Mpki = 5, .l3Mpki = 2.0,
+            .mlp = 3.0, .intensity = 1.05}, 2.5e-3),
+        ph({.baseCpi = 0.6, .fpFraction = 0.44, .loadFraction = 0.28,
+            .storeFraction = 0.11, .branchFraction = 0.04,
+            .branchMpki = 0.6, .l1dMpki = 6, .l2Mpki = 2, .l3Mpki = 0.6,
+            .intensity = 1.15}, 1.5e-3),
+    });
+
+    // gcc: compiler; icache pressure, irregular, moderate power.
+    add("gcc", {
+        ph({.baseCpi = 0.7, .fpFraction = 0.01, .loadFraction = 0.28,
+            .storeFraction = 0.14, .branchFraction = 0.20,
+            .branchMpki = 7.0, .l1iMpki = 15, .l1dMpki = 12, .l2Mpki = 3.0,
+            .l3Mpki = 1.0, .itlbMpki = 2.0, .dtlbMpki = 2.5,
+            .intensity = 0.92}, 1.2e-3),
+        ph({.baseCpi = 0.9, .fpFraction = 0.01, .loadFraction = 0.30,
+            .storeFraction = 0.15, .branchFraction = 0.18,
+            .branchMpki = 5.0, .l1iMpki = 10, .l1dMpki = 16, .l2Mpki = 5.0,
+            .l3Mpki = 1.8, .itlbMpki = 1.5, .dtlbMpki = 3.0,
+            .intensity = 0.85}, 1.8e-3),
+    }, PhasePattern::Random);
+
+    // calculix: FP structural mechanics; compute-dense solver.
+    add("calculix", {
+        ph({.baseCpi = 0.5, .fpFraction = 0.40, .loadFraction = 0.26,
+            .storeFraction = 0.09, .branchFraction = 0.06,
+            .branchMpki = 1.5, .l1dMpki = 4, .l2Mpki = 0.8, .l3Mpki = 0.2,
+            .intensity = 1.15}, 3.0e-3),
+        ph({.baseCpi = 0.8, .fpFraction = 0.30, .loadFraction = 0.30,
+            .storeFraction = 0.12, .branchFraction = 0.08,
+            .branchMpki = 3.0, .l1dMpki = 10, .l2Mpki = 3, .l3Mpki = 1.0,
+            .intensity = 0.9}, 1.5e-3),
+    });
+
+    // perlbench: interpreter; branchy, icache-heavy, high activity.
+    add("perlbench", {
+        ph({.baseCpi = 0.55, .fpFraction = 0.01, .loadFraction = 0.28,
+            .storeFraction = 0.14, .branchFraction = 0.21,
+            .branchMpki = 6.0, .l1iMpki = 10, .l1dMpki = 6, .l2Mpki = 1.0,
+            .l3Mpki = 0.2, .itlbMpki = 1.5, .intensity = 1.05}, 2.0e-3),
+        ph({.baseCpi = 0.65, .fpFraction = 0.01, .loadFraction = 0.30,
+            .storeFraction = 0.15, .branchFraction = 0.19,
+            .branchMpki = 8.0, .l1iMpki = 12, .l1dMpki = 8, .l2Mpki = 1.5,
+            .l3Mpki = 0.4, .intensity = 0.95}, 1.2e-3),
+    }, PhasePattern::Random);
+
+    // astar: path-finding; pointer-heavy memory with moderate compute.
+    add("astar", {
+        ph({.baseCpi = 0.9, .fpFraction = 0.02, .loadFraction = 0.32,
+            .storeFraction = 0.10, .branchFraction = 0.16,
+            .branchMpki = 8.0, .l1dMpki = 15, .l2Mpki = 5, .l3Mpki = 1.5,
+            .dtlbMpki = 3.0, .mlp = 1.5, .intensity = 0.9}, 2.0e-3),
+        ph({.baseCpi = 0.7, .fpFraction = 0.02, .loadFraction = 0.28,
+            .storeFraction = 0.10, .branchFraction = 0.18,
+            .branchMpki = 6.0, .l1dMpki = 8, .l2Mpki = 2, .l3Mpki = 0.6,
+            .intensity = 1.0}, 1.5e-3),
+    }, PhasePattern::Random);
+
+    // tonto: quantum chemistry; FP compute with small working set.
+    add("tonto", {
+        ph({.baseCpi = 0.6, .fpFraction = 0.35, .loadFraction = 0.27,
+            .storeFraction = 0.11, .branchFraction = 0.08,
+            .branchMpki = 2.0, .l1dMpki = 5, .l2Mpki = 1.0, .l3Mpki = 0.3,
+            .intensity = 1.05}, 2.5e-3),
+        ph({.baseCpi = 0.5, .fpFraction = 0.40, .loadFraction = 0.25,
+            .storeFraction = 0.10, .branchFraction = 0.07,
+            .branchMpki = 1.5, .l1dMpki = 3, .l2Mpki = 0.6, .l3Mpki = 0.15,
+            .intensity = 1.12}, 1.5e-3),
+    });
+
+    // zeusmp: FP CFD; moderately hot steady compute.
+    add("zeusmp", {
+        ph({.baseCpi = 0.7, .fpFraction = 0.38, .loadFraction = 0.30,
+            .storeFraction = 0.12, .branchFraction = 0.04,
+            .branchMpki = 0.8, .l1dMpki = 8, .l2Mpki = 3, .l3Mpki = 1.0,
+            .mlp = 2.5, .intensity = 1.05}, 3.0e-3, 0.2),
+    });
+
+    // wrf: weather model; mixed FP compute and memory phases.
+    add("wrf", {
+        ph({.baseCpi = 0.75, .fpFraction = 0.35, .loadFraction = 0.30,
+            .storeFraction = 0.12, .branchFraction = 0.07,
+            .branchMpki = 2.0, .l1dMpki = 9, .l2Mpki = 3, .l3Mpki = 1.0,
+            .intensity = 1.05}, 2.0e-3),
+        ph({.baseCpi = 0.55, .fpFraction = 0.42, .loadFraction = 0.26,
+            .storeFraction = 0.10, .branchFraction = 0.05,
+            .branchMpki = 1.0, .l1dMpki = 4, .l2Mpki = 1.0, .l3Mpki = 0.3,
+            .intensity = 1.18}, 1.0e-3),
+    });
+
+    // lbm: lattice-Boltzmann; extreme streaming bandwidth, steady.
+    add("lbm", {
+        ph({.baseCpi = 0.9, .fpFraction = 0.40, .loadFraction = 0.34,
+            .storeFraction = 0.16, .branchFraction = 0.02,
+            .branchMpki = 0.3, .l1dMpki = 25, .l2Mpki = 10, .l3Mpki = 4.5,
+            .dtlbMpki = 2.5, .mlp = 4.0, .activityNoise = 0.015,
+            .intensity = 1.05}, 6.0e-3, 0.1),
+    });
+
+    // mcf: pointer-chasing; very memory bound, low power.
+    add("mcf", {
+        ph({.baseCpi = 2.2, .fpFraction = 0.01, .loadFraction = 0.35,
+            .storeFraction = 0.09, .branchFraction = 0.17,
+            .branchMpki = 10.0, .l1dMpki = 40, .l2Mpki = 15, .l3Mpki = 6.0,
+            .dtlbMpki = 8.0, .mlp = 1.2, .intensity = 1.4}, 3.0e-3),
+        ph({.baseCpi = 1.4, .fpFraction = 0.01, .loadFraction = 0.32,
+            .storeFraction = 0.10, .branchFraction = 0.18,
+            .branchMpki = 8.0, .l1dMpki = 25, .l2Mpki = 9, .l3Mpki = 3.5,
+            .dtlbMpki = 5.0, .mlp = 1.4, .intensity = 1.5}, 1.5e-3),
+    }, PhasePattern::Random);
+
+    // sphinx3: speech recognition; FP with streaming scoring loops.
+    add("sphinx3", {
+        ph({.baseCpi = 0.8, .fpFraction = 0.30, .loadFraction = 0.31,
+            .storeFraction = 0.10, .branchFraction = 0.09,
+            .branchMpki = 3.0, .l1dMpki = 10, .l2Mpki = 4, .l3Mpki = 1.5,
+            .mlp = 2.5, .intensity = 1.0}, 2.0e-3),
+        ph({.baseCpi = 0.6, .fpFraction = 0.35, .loadFraction = 0.28,
+            .storeFraction = 0.09, .branchFraction = 0.08,
+            .branchMpki = 2.0, .l1dMpki = 5, .l2Mpki = 1.5, .l3Mpki = 0.4,
+            .intensity = 1.1}, 1.2e-3),
+    });
+
+    // povray: ray tracer; very high-IPC FP compute, one of the two
+    // workloads whose oracle point IS the 3.75 GHz global limit.
+    add("povray", {
+        ph({.baseCpi = 0.45, .fpFraction = 0.35, .loadFraction = 0.27,
+            .storeFraction = 0.09, .branchFraction = 0.12,
+            .branchMpki = 4.0, .l1dMpki = 2, .l2Mpki = 0.3, .l3Mpki = 0.05,
+            .intensity = 1.25}, 2.5e-3),
+        ph({.baseCpi = 0.5, .fpFraction = 0.30, .loadFraction = 0.28,
+            .storeFraction = 0.10, .branchFraction = 0.13,
+            .branchMpki = 5.0, .l1dMpki = 3, .l2Mpki = 0.5, .l3Mpki = 0.1,
+            .intensity = 1.15}, 1.5e-3),
+    });
+
+    // libquantum: quantum simulation; pure streaming over a large vector,
+    // steady high LSU/cache power (uniform heating, Sec. III-D).
+    add("libquantum", {
+        ph({.baseCpi = 1.0, .fpFraction = 0.02, .loadFraction = 0.33,
+            .storeFraction = 0.16, .branchFraction = 0.13,
+            .branchMpki = 1.0, .l1dMpki = 30, .l2Mpki = 12, .l3Mpki = 5.0,
+            .dtlbMpki = 3.0, .mlp = 4.0, .activityNoise = 0.01,
+            .intensity = 1.1}, 8.0e-3, 0.05),
+    });
+
+    // namd: molecular dynamics; dense FP inner loops, sustained heat;
+    // the other workload pinned at the 3.75 GHz global limit.
+    add("namd", {
+        ph({.baseCpi = 0.5, .fpFraction = 0.45, .loadFraction = 0.26,
+            .storeFraction = 0.08, .branchFraction = 0.06,
+            .branchMpki = 1.0, .l1dMpki = 3, .l2Mpki = 0.5, .l3Mpki = 0.1,
+            .activityNoise = 0.02, .intensity = 1.25}, 4.0e-3, 0.15),
+    });
+
+    // gromacs: molecular dynamics with aggressive short FP bursts —
+    // the paper's fast-hotspot case study (Sec. III-D, Fig. 4a).
+    add("gromacs", {
+        ph({.baseCpi = 0.42, .fpFraction = 0.50, .loadFraction = 0.24,
+            .storeFraction = 0.08, .branchFraction = 0.05,
+            .branchMpki = 1.0, .l1dMpki = 3, .l2Mpki = 0.5, .l3Mpki = 0.1,
+            .activityNoise = 0.05, .intensity = 1.55}, 0.45e-3, 0.4),
+        ph({.baseCpi = 1.1, .fpFraction = 0.15, .loadFraction = 0.32,
+            .storeFraction = 0.12, .branchFraction = 0.08,
+            .branchMpki = 2.0, .l1dMpki = 14, .l2Mpki = 6, .l3Mpki = 2.0,
+            .mlp = 2.5, .intensity = 0.6}, 0.8e-3, 0.4),
+    });
+
+    // ---------------- test set (Table III) ----------------
+
+    // cactusADM: FP stencil over a large grid; memory bound and cool —
+    // safely runs at 4.75 GHz (Sec. III-D).
+    add("cactusADM", {
+        ph({.baseCpi = 1.0, .fpFraction = 0.42, .loadFraction = 0.32,
+            .storeFraction = 0.13, .branchFraction = 0.02,
+            .branchMpki = 0.3, .l1dMpki = 14, .l2Mpki = 6, .l3Mpki = 2.5,
+            .dtlbMpki = 2.0, .mlp = 3.0, .intensity = 0.95}, 4.0e-3, 0.2),
+        ph({.baseCpi = 0.8, .fpFraction = 0.45, .loadFraction = 0.30,
+            .storeFraction = 0.12, .branchFraction = 0.02,
+            .branchMpki = 0.3, .l1dMpki = 8, .l2Mpki = 3, .l3Mpki = 1.0,
+            .mlp = 3.0, .intensity = 1.0}, 2.0e-3),
+    });
+
+    // omnetpp: discrete-event simulation; pointer-chasing, cool.
+    add("omnetpp", {
+        ph({.baseCpi = 1.5, .fpFraction = 0.02, .loadFraction = 0.33,
+            .storeFraction = 0.12, .branchFraction = 0.18,
+            .branchMpki = 9.0, .l1dMpki = 20, .l2Mpki = 8, .l3Mpki = 3.0,
+            .dtlbMpki = 5.0, .mlp = 1.3, .intensity = 0.88}, 2.5e-3),
+        ph({.baseCpi = 1.0, .fpFraction = 0.02, .loadFraction = 0.30,
+            .storeFraction = 0.12, .branchFraction = 0.20,
+            .branchMpki = 7.0, .l1dMpki = 12, .l2Mpki = 4, .l3Mpki = 1.5,
+            .dtlbMpki = 3.0, .mlp = 1.5, .intensity = 0.95}, 1.5e-3),
+    }, PhasePattern::Random);
+
+    // GemsFDTD: FP electromagnetic solver; streaming with compute bursts.
+    add("GemsFDTD", {
+        ph({.baseCpi = 0.9, .fpFraction = 0.40, .loadFraction = 0.32,
+            .storeFraction = 0.13, .branchFraction = 0.03,
+            .branchMpki = 0.5, .l1dMpki = 15, .l2Mpki = 6, .l3Mpki = 2.5,
+            .mlp = 3.0, .intensity = 1.0}, 2.5e-3),
+        ph({.baseCpi = 0.65, .fpFraction = 0.44, .loadFraction = 0.28,
+            .storeFraction = 0.11, .branchFraction = 0.03,
+            .branchMpki = 0.4, .l1dMpki = 7, .l2Mpki = 2, .l3Mpki = 0.6,
+            .intensity = 1.1}, 1.2e-3),
+    });
+
+    // h264ref: video encoder; integer SIMD-ish bursts per macroblock row.
+    add("h264ref", {
+        ph({.baseCpi = 0.5, .fpFraction = 0.05, .mulFraction = 0.06,
+            .loadFraction = 0.30, .storeFraction = 0.12,
+            .branchFraction = 0.12, .branchMpki = 4.0, .l1dMpki = 4,
+            .l2Mpki = 0.8, .l3Mpki = 0.2, .intensity = 1.12}, 0.9e-3, 0.35),
+        ph({.baseCpi = 0.7, .fpFraction = 0.03, .mulFraction = 0.03,
+            .loadFraction = 0.32, .storeFraction = 0.13,
+            .branchFraction = 0.14, .branchMpki = 6.0, .l1dMpki = 8,
+            .l2Mpki = 2.0, .l3Mpki = 0.6, .intensity = 0.9}, 1.1e-3, 0.35),
+    });
+
+    // bzip2: compression; alternating compress/decompress phases with
+    // clear activity swings — Boreas' best case (Fig. 6, +9.6%).
+    add("bzip2", {
+        ph({.baseCpi = 0.6, .fpFraction = 0.01, .loadFraction = 0.29,
+            .storeFraction = 0.13, .branchFraction = 0.16,
+            .branchMpki = 7.0, .l1dMpki = 8, .l2Mpki = 2.0, .l3Mpki = 0.5,
+            .intensity = 1.05}, 1.4e-3, 0.35),
+        ph({.baseCpi = 0.85, .fpFraction = 0.01, .loadFraction = 0.32,
+            .storeFraction = 0.14, .branchFraction = 0.14,
+            .branchMpki = 5.0, .l1dMpki = 14, .l2Mpki = 4.0, .l3Mpki = 1.2,
+            .dtlbMpki = 2.0, .mlp = 1.8, .intensity = 0.82}, 1.6e-3, 0.35),
+    });
+
+    // hmmer: HMM sequence search; extremely steady high-IPC integer code.
+    add("hmmer", {
+        ph({.baseCpi = 0.4, .fpFraction = 0.02, .mulFraction = 0.03,
+            .loadFraction = 0.30, .storeFraction = 0.12,
+            .branchFraction = 0.10, .branchMpki = 1.0, .l1dMpki = 3,
+            .l2Mpki = 0.4, .l3Mpki = 0.1, .activityNoise = 0.01,
+            .intensity = 1.15}, 8.0e-3, 0.05),
+    });
+
+    // gamess: quantum chemistry; steady FP with occasional integral
+    // bursts (Fig. 4b case study).
+    add("gamess", {
+        ph({.baseCpi = 0.5, .fpFraction = 0.38, .loadFraction = 0.27,
+            .storeFraction = 0.10, .branchFraction = 0.08,
+            .branchMpki = 2.0, .l1dMpki = 3, .l2Mpki = 0.5, .l3Mpki = 0.1,
+            .intensity = 1.1}, 3.0e-3, 0.2),
+        ph({.baseCpi = 0.45, .fpFraction = 0.42, .loadFraction = 0.25,
+            .storeFraction = 0.09, .branchFraction = 0.07,
+            .branchMpki = 1.5, .l1dMpki = 2, .l2Mpki = 0.3, .l3Mpki = 0.05,
+            .intensity = 1.2}, 0.8e-3, 0.3),
+    });
+
+    boreas_assert(suite.size() == 27, "expected 27 workloads, got %zu",
+                  suite.size());
+    return suite;
+}
+
+} // namespace
+
+const std::vector<WorkloadSpec> &
+spec2006Suite()
+{
+    static const std::vector<WorkloadSpec> suite = buildSuite();
+    return suite;
+}
+
+std::vector<const WorkloadSpec *>
+trainWorkloads()
+{
+    std::vector<const WorkloadSpec *> out;
+    for (const auto &w : spec2006Suite())
+        if (!w.testSet)
+            out.push_back(&w);
+    return out;
+}
+
+std::vector<const WorkloadSpec *>
+testWorkloads()
+{
+    std::vector<const WorkloadSpec *> out;
+    for (const auto &w : spec2006Suite())
+        if (w.testSet)
+            out.push_back(&w);
+    return out;
+}
+
+const WorkloadSpec &
+findWorkload(const std::string &name)
+{
+    for (const auto &w : spec2006Suite())
+        if (w.name == name)
+            return w;
+    boreas_fatal("unknown workload '%s'", name.c_str());
+}
+
+GHz
+designOracleFrequency(const std::string &name)
+{
+    auto it = kDesignOracle.find(name);
+    boreas_assert(it != kDesignOracle.end(), "no design oracle for '%s'",
+                  name.c_str());
+    return it->second;
+}
+
+} // namespace boreas

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The SPEC CPU2006 workload suite modeled in the paper (27 workloads,
+ * Table III train/test split).
+ *
+ * Each workload is a synthetic phase program whose parameters encode the
+ * published qualitative behaviour of the benchmark (FP vs integer mix,
+ * memory-boundedness, branchiness, burstiness) plus a calibrated thermal
+ * scale that positions its peak-severity-vs-frequency curve (Fig. 2).
+ */
+
+#ifndef BOREAS_WORKLOAD_SPEC2006_HH
+#define BOREAS_WORKLOAD_SPEC2006_HH
+
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace boreas
+{
+
+/** All 27 workloads, in the paper's Fig. 2 naming. */
+const std::vector<WorkloadSpec> &spec2006Suite();
+
+/** The 20 training workloads of Table III. */
+std::vector<const WorkloadSpec *> trainWorkloads();
+
+/** The 7 held-out test workloads of Table III. */
+std::vector<const WorkloadSpec *> testWorkloads();
+
+/** Lookup by name; panics if the workload does not exist. */
+const WorkloadSpec &findWorkload(const std::string &name);
+
+/**
+ * The frequency (GHz) each workload was *designed* to be oracle-safe at,
+ * i.e. the highest frequency where its peak Hotspot-Severity stays below
+ * 1.0. This is calibration metadata standing in for the real SPEC
+ * binaries' thermal behaviour: the suite's thermalScale values are tuned
+ * so the simulated Fig. 2 lands here. No controller or model reads it.
+ */
+GHz designOracleFrequency(const std::string &name);
+
+} // namespace boreas
+
+#endif // BOREAS_WORKLOAD_SPEC2006_HH

@@ -1,0 +1,56 @@
+#include "workload/workload.hh"
+
+#include <functional>
+
+#include "common/logging.hh"
+
+namespace boreas
+{
+
+WorkloadRun::WorkloadRun(const WorkloadSpec &spec, uint64_t seed)
+    : spec_(&spec),
+      rng_(seed ^ (spec.seedSalt * 0x9e3779b97f4a7c15ULL) ^
+           std::hash<std::string>{}(spec.name))
+{
+    boreas_assert(!spec.phases.empty(), "workload '%s' has no phases",
+                  spec.name.c_str());
+    phaseIdx_ = 0;
+    scheduleDwell();
+}
+
+PhaseParams
+WorkloadRun::currentPhase() const
+{
+    PhaseParams p = spec_->phases[phaseIdx_].params;
+    p.intensity *= spec_->thermalScale;
+    return p;
+}
+
+void
+WorkloadRun::advance(Seconds dt)
+{
+    dwellLeft_ -= dt;
+    while (dwellLeft_ <= 0.0) {
+        const int n = static_cast<int>(spec_->phases.size());
+        if (spec_->pattern == PhasePattern::Cyclic || n == 1) {
+            phaseIdx_ = (phaseIdx_ + 1) % n;
+        } else {
+            // Random: jump to a *different* phase. Allowing repeats
+            // would give some seeds multi-millisecond single-phase
+            // realizations, making short traces unrepresentative.
+            phaseIdx_ = (phaseIdx_ + 1 + rng_.uniformInt(0, n - 2)) % n;
+        }
+        scheduleDwell();
+    }
+}
+
+void
+WorkloadRun::scheduleDwell()
+{
+    const WorkloadPhase &ph = spec_->phases[phaseIdx_];
+    const double jitter = std::min(0.95, std::max(0.0, ph.durationJitter));
+    const double factor = rng_.uniform(1.0 - jitter, 1.0 + jitter);
+    dwellLeft_ += ph.meanDuration * factor;
+}
+
+} // namespace boreas

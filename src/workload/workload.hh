@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Workload models: phase programs that drive the interval core model.
+ *
+ * SPEC CPU2006 binaries are proprietary and unavailable here, so each of
+ * the paper's 27 workloads is modeled as a *phase program*: a set of
+ * statistical phases (PhaseParams) with durations and a sequencing
+ * pattern. What Boreas needs from a workload is the telemetry texture it
+ * induces — per-interval counter values, their correlation with power, and
+ * the speed/shape of power transients — all of which the phase program
+ * controls. See DESIGN.md for the substitution rationale.
+ */
+
+#ifndef BOREAS_WORKLOAD_WORKLOAD_HH
+#define BOREAS_WORKLOAD_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/core_model.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace boreas
+{
+
+/** One phase of a workload with its dwell time. */
+struct WorkloadPhase
+{
+    PhaseParams params;
+    Seconds meanDuration = 2e-3;   ///< average dwell before switching
+    double durationJitter = 0.3;   ///< relative uniform jitter on dwell
+};
+
+/** How phases follow each other. */
+enum class PhasePattern
+{
+    Cyclic,  ///< phases repeat in order (loop-nest style programs)
+    Random   ///< next phase drawn uniformly (irregular/pointer codes)
+};
+
+/** A complete workload description. */
+struct WorkloadSpec
+{
+    std::string name;
+    std::vector<WorkloadPhase> phases;
+    PhasePattern pattern = PhasePattern::Cyclic;
+
+    /**
+     * Workload-wide dynamic-energy calibration multiplier (applied on top
+     * of each phase's intensity). This stands in for the per-binary
+     * switching-activity differences a McPAT run would produce, and is
+     * calibrated so the workload's peak-severity-vs-frequency profile
+     * (Fig. 2) lands at its documented safe operating point.
+     */
+    double thermalScale = 1.0;
+
+    /** True if the workload belongs to the paper's test set (Table III). */
+    bool testSet = false;
+
+    /** Decorrelates this workload's noise streams from other workloads. */
+    uint64_t seedSalt = 0;
+};
+
+/**
+ * A running instance of a workload: tracks the current phase and produces
+ * the effective PhaseParams for each telemetry step. Deterministic given
+ * (spec, seed).
+ */
+class WorkloadRun
+{
+  public:
+    WorkloadRun(const WorkloadSpec &spec, uint64_t seed);
+
+    const WorkloadSpec &spec() const { return *spec_; }
+
+    /** Index of the phase active right now. */
+    int phaseIndex() const { return phaseIdx_; }
+
+    /**
+     * Phase parameters for the current step, with the workload's
+     * thermalScale folded into the intensity.
+     */
+    PhaseParams currentPhase() const;
+
+    /** Noise stream for the core model, private to this run. */
+    Rng &rng() { return rng_; }
+
+    /** Advance workload time by dt, switching phases as dwell expires. */
+    void advance(Seconds dt);
+
+  private:
+    void scheduleDwell();
+
+    const WorkloadSpec *spec_;
+    Rng rng_;
+    int phaseIdx_ = 0;
+    Seconds dwellLeft_ = 0.0;
+};
+
+} // namespace boreas
+
+#endif // BOREAS_WORKLOAD_WORKLOAD_HH

@@ -1,0 +1,217 @@
+/** @file Unit tests for telemetry counters and the interval core model. */
+
+#include <gtest/gtest.h>
+
+#include "arch/core_model.hh"
+#include "arch/counters.hh"
+
+using namespace boreas;
+
+TEST(Counters, NamesRoundTrip)
+{
+    for (size_t i = 0; i < kNumCounters; ++i) {
+        const Counter c = static_cast<Counter>(i);
+        EXPECT_EQ(counterFromName(counterName(c)), c);
+    }
+}
+
+TEST(Counters, SchemaHas76Counters)
+{
+    // 76 counters + temperature + frequency = the paper's 78 attributes.
+    EXPECT_EQ(kNumCounters, 76u);
+}
+
+TEST(CountersDeathTest, UnknownNamePanics)
+{
+    EXPECT_DEATH(counterFromName("not_a_counter"), "unknown counter");
+}
+
+TEST(Counters, AccumulateAndScale)
+{
+    CounterSet a, b;
+    a[Counter::TotalCycles] = 10.0;
+    b[Counter::TotalCycles] = 5.0;
+    b[Counter::RobReads] = 2.0;
+    a.accumulate(b);
+    EXPECT_DOUBLE_EQ(a[Counter::TotalCycles], 15.0);
+    EXPECT_DOUBLE_EQ(a[Counter::RobReads], 2.0);
+    a.scale(0.5);
+    EXPECT_DOUBLE_EQ(a[Counter::TotalCycles], 7.5);
+}
+
+namespace
+{
+
+PhaseParams
+quietPhase()
+{
+    PhaseParams p;
+    p.activityNoise = 0.0;
+    return p;
+}
+
+} // namespace
+
+TEST(IntervalCore, CyclesMatchFrequencyAndDt)
+{
+    IntervalCore core;
+    Rng rng(1);
+    const CounterSet c = core.step(quietPhase(), 4.0, 80e-6, rng);
+    EXPECT_DOUBLE_EQ(c[Counter::TotalCycles], 4.0e9 * 80e-6);
+}
+
+TEST(IntervalCore, BusyPlusIdleEqualsTotal)
+{
+    IntervalCore core;
+    Rng rng(1);
+    const CounterSet c = core.step(quietPhase(), 3.0, 80e-6, rng);
+    EXPECT_NEAR(c[Counter::BusyCycles] + c[Counter::IdleCycles],
+                c[Counter::TotalCycles], 1e-6);
+}
+
+TEST(IntervalCore, CommittedBoundedByCommitWidth)
+{
+    IntervalCore core;
+    Rng rng(1);
+    PhaseParams p = quietPhase();
+    p.baseCpi = 0.01; // absurdly parallel
+    const CounterSet c = core.step(p, 4.0, 80e-6, rng);
+    EXPECT_LE(c[Counter::CommittedInstructions],
+              c[Counter::TotalCycles] * core.params().commitWidth);
+}
+
+TEST(IntervalCore, EffectiveCpiGrowsWithMissRates)
+{
+    IntervalCore core;
+    PhaseParams base = quietPhase();
+    PhaseParams missy = base;
+    missy.l3Mpki = 10.0;
+    EXPECT_GT(core.effectiveCpi(missy, 4.0),
+              core.effectiveCpi(base, 4.0));
+    PhaseParams branchy = base;
+    branchy.branchMpki = 20.0;
+    EXPECT_GT(core.effectiveCpi(branchy, 4.0),
+              core.effectiveCpi(base, 4.0));
+}
+
+TEST(IntervalCore, MemoryBoundScalesWorseWithFrequency)
+{
+    // IPS speedup from 2 -> 5 GHz should be near-linear for compute
+    // phases and clearly sublinear for memory-bound phases.
+    IntervalCore core;
+    PhaseParams compute = quietPhase();
+    compute.l2Mpki = 0.1;
+    compute.l3Mpki = 0.01;
+    PhaseParams membound = quietPhase();
+    membound.l2Mpki = 15.0;
+    membound.l3Mpki = 6.0;
+    membound.mlp = 1.2;
+
+    const double comp_gain = core.instructionsPerSecond(compute, 5.0) /
+        core.instructionsPerSecond(compute, 2.0);
+    const double mem_gain = core.instructionsPerSecond(membound, 5.0) /
+        core.instructionsPerSecond(membound, 2.0);
+    EXPECT_GT(comp_gain, 2.2);
+    EXPECT_LT(mem_gain, 1.6);
+    EXPECT_GT(mem_gain, 1.0);
+}
+
+TEST(IntervalCore, MissesNeverExceedAccesses)
+{
+    IntervalCore core;
+    Rng rng(7);
+    PhaseParams p = quietPhase();
+    p.l1dMpki = 500.0; // extreme
+    p.dtlbMpki = 500.0;
+    p.itlbMpki = 500.0;
+    const CounterSet c = core.step(p, 4.0, 80e-6, rng);
+    EXPECT_LE(c[Counter::DcacheReadMisses],
+              c[Counter::DcacheReadAccesses]);
+    EXPECT_LE(c[Counter::DcacheWriteMisses],
+              c[Counter::DcacheWriteAccesses]);
+    EXPECT_LE(c[Counter::DtlbTotalMisses],
+              c[Counter::DtlbTotalAccesses]);
+    EXPECT_LE(c[Counter::ItlbTotalMisses],
+              c[Counter::ItlbTotalAccesses]);
+    EXPECT_LE(c[Counter::L2ReadMisses], c[Counter::L2ReadAccesses]);
+    EXPECT_LE(c[Counter::L3ReadMisses], c[Counter::L3ReadAccesses]);
+}
+
+TEST(IntervalCore, DutyCyclesWithinUnitInterval)
+{
+    IntervalCore core;
+    Rng rng(3);
+    PhaseParams p = quietPhase();
+    p.baseCpi = 0.25;
+    p.fpFraction = 0.5;
+    const CounterSet c = core.step(p, 5.0, 80e-6, rng);
+    for (Counter d : {Counter::AluDutyCycle, Counter::MulDutyCycle,
+                      Counter::FpuDutyCycle, Counter::IfuDutyCycle,
+                      Counter::LsuDutyCycle, Counter::ExuDutyCycle,
+                      Counter::MemManUIDutyCycle,
+                      Counter::MemManUDDutyCycle}) {
+        EXPECT_GE(c[d], 0.0);
+        EXPECT_LE(c[d], 1.0);
+    }
+}
+
+TEST(IntervalCore, CommittedDecomposesByMix)
+{
+    IntervalCore core;
+    Rng rng(1);
+    PhaseParams p = quietPhase();
+    p.fpFraction = 0.3;
+    p.mulFraction = 0.1;
+    const CounterSet c = core.step(p, 4.0, 80e-6, rng);
+    const double total = c[Counter::CommittedInstructions];
+    EXPECT_NEAR(c[Counter::CommittedFpInstructions], 0.3 * total, 1e-6);
+    EXPECT_NEAR(c[Counter::CommittedMulInstructions], 0.1 * total, 1e-6);
+    EXPECT_NEAR(c[Counter::CommittedIntInstructions], 0.6 * total, 1e-6);
+}
+
+TEST(IntervalCore, NoiselessStepIsDeterministic)
+{
+    IntervalCore core;
+    Rng rng1(1), rng2(999);
+    const CounterSet a = core.step(quietPhase(), 4.0, 80e-6, rng1);
+    const CounterSet b = core.step(quietPhase(), 4.0, 80e-6, rng2);
+    for (size_t i = 0; i < kNumCounters; ++i)
+        EXPECT_DOUBLE_EQ(a.values[i], b.values[i]);
+}
+
+TEST(IntervalCore, NoisePerturbsButSameSeedRepeats)
+{
+    IntervalCore core;
+    PhaseParams p = quietPhase();
+    p.activityNoise = 0.1;
+    Rng rng1(5), rng2(5), rng3(6);
+    const CounterSet a = core.step(p, 4.0, 80e-6, rng1);
+    const CounterSet b = core.step(p, 4.0, 80e-6, rng2);
+    const CounterSet c = core.step(p, 4.0, 80e-6, rng3);
+    EXPECT_DOUBLE_EQ(a[Counter::CommittedInstructions],
+                     b[Counter::CommittedInstructions]);
+    EXPECT_NE(a[Counter::CommittedInstructions],
+              c[Counter::CommittedInstructions]);
+}
+
+class CpiFrequencyMonotone : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(CpiFrequencyMonotone, CpiNonDecreasingInFrequency)
+{
+    // Off-core miss penalties are wall-clock constant, so CPI can only
+    // grow with frequency, for any memory intensity.
+    IntervalCore core;
+    PhaseParams p = quietPhase();
+    p.l3Mpki = GetParam();
+    double prev = 0.0;
+    for (GHz f = 2.0; f <= 5.0; f += 0.25) {
+        const double cpi = core.effectiveCpi(p, f);
+        EXPECT_GE(cpi, prev);
+        prev = cpi;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(MemIntensities, CpiFrequencyMonotone,
+                         ::testing::Values(0.0, 0.5, 2.0, 6.0));

@@ -1,0 +1,89 @@
+/** @file Unit tests for the ML dataset container. */
+
+#include <gtest/gtest.h>
+
+#include "ml/dataset.hh"
+
+using namespace boreas;
+
+namespace
+{
+
+Dataset
+toyData()
+{
+    Dataset d({"a", "b", "c"});
+    d.addRow({1.0, 2.0, 3.0}, 10.0, 0);
+    d.addRow({4.0, 5.0, 6.0}, 20.0, 1);
+    d.addRow({7.0, 8.0, 9.0}, 30.0, 0);
+    d.addRow({1.5, 2.5, 3.5}, 40.0, 2);
+    return d;
+}
+
+} // namespace
+
+TEST(Dataset, BasicAccessors)
+{
+    const Dataset d = toyData();
+    EXPECT_EQ(d.numRows(), 4u);
+    EXPECT_EQ(d.numFeatures(), 3u);
+    EXPECT_DOUBLE_EQ(d.x(1, 2), 6.0);
+    EXPECT_DOUBLE_EQ(d.y(2), 30.0);
+    EXPECT_EQ(d.group(3), 2);
+    EXPECT_DOUBLE_EQ(d.row(1)[0], 4.0);
+}
+
+TEST(Dataset, TargetMean)
+{
+    EXPECT_DOUBLE_EQ(toyData().targetMean(), 25.0);
+    Dataset empty({"x"});
+    EXPECT_DOUBLE_EQ(empty.targetMean(), 0.0);
+}
+
+TEST(Dataset, DistinctGroupsInFirstAppearanceOrder)
+{
+    const auto groups = toyData().distinctGroups();
+    EXPECT_EQ(groups, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Dataset, SelectGroupsKeepsMatchingRows)
+{
+    const Dataset sel = toyData().selectGroups({0});
+    EXPECT_EQ(sel.numRows(), 2u);
+    EXPECT_DOUBLE_EQ(sel.y(0), 10.0);
+    EXPECT_DOUBLE_EQ(sel.y(1), 30.0);
+}
+
+TEST(Dataset, SelectGroupsInverted)
+{
+    const Dataset sel = toyData().selectGroups({0}, /*invert=*/true);
+    EXPECT_EQ(sel.numRows(), 2u);
+    EXPECT_DOUBLE_EQ(sel.y(0), 20.0);
+    EXPECT_DOUBLE_EQ(sel.y(1), 40.0);
+}
+
+TEST(Dataset, SelectFeaturesReordersColumns)
+{
+    const Dataset sel = toyData().selectFeatures({2, 0});
+    EXPECT_EQ(sel.numFeatures(), 2u);
+    EXPECT_EQ(sel.featureNames()[0], "c");
+    EXPECT_EQ(sel.featureNames()[1], "a");
+    EXPECT_DOUBLE_EQ(sel.x(0, 0), 3.0);
+    EXPECT_DOUBLE_EQ(sel.x(0, 1), 1.0);
+    // Targets and groups carry over.
+    EXPECT_DOUBLE_EQ(sel.y(3), 40.0);
+    EXPECT_EQ(sel.group(1), 1);
+}
+
+TEST(Dataset, FeatureIndexLookup)
+{
+    const Dataset d = toyData();
+    EXPECT_EQ(d.featureIndex("b"), 1);
+    EXPECT_EQ(d.featureIndex("zz"), -1);
+}
+
+TEST(DatasetDeathTest, RowWidthMismatchPanics)
+{
+    Dataset d({"a", "b"});
+    EXPECT_DEATH(d.addRow({1.0}, 0.0, 0), "row width");
+}

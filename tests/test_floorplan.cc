@@ -1,0 +1,146 @@
+/** @file Unit tests for the floorplan container and the Skylake die. */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "floorplan/floorplan.hh"
+#include "floorplan/skylake.hh"
+
+using namespace boreas;
+
+TEST(Floorplan, AddAndFindUnits)
+{
+    Floorplan fp(1e-3, 1e-3);
+    const int a = fp.addUnit("a", UnitKind::IntALU,
+                             {0.0, 0.0, 0.5e-3, 0.5e-3}, 0);
+    const int b = fp.addUnit("b", UnitKind::FPU,
+                             {0.5e-3, 0.0, 0.5e-3, 0.5e-3}, 0);
+    EXPECT_EQ(fp.numUnits(), 2u);
+    EXPECT_EQ(fp.findUnit("a"), a);
+    EXPECT_EQ(fp.findUnit("b"), b);
+    EXPECT_EQ(fp.findUnit("missing"), -1);
+    EXPECT_EQ(fp.findUnit(UnitKind::FPU, 0), b);
+    EXPECT_EQ(fp.findUnit(UnitKind::L3, -1), -1);
+}
+
+TEST(FloorplanDeathTest, RejectsDuplicateNames)
+{
+    Floorplan fp(1e-3, 1e-3);
+    fp.addUnit("a", UnitKind::IntALU, {0.0, 0.0, 1e-4, 1e-4}, 0);
+    EXPECT_DEATH(fp.addUnit("a", UnitKind::FPU,
+                            {0.0, 0.0, 1e-4, 1e-4}, 0),
+                 "duplicate");
+}
+
+TEST(FloorplanDeathTest, RejectsUnitsOutsideDie)
+{
+    Floorplan fp(1e-3, 1e-3);
+    EXPECT_DEATH(fp.addUnit("big", UnitKind::L2,
+                            {0.5e-3, 0.0, 1e-3, 1e-4}, 0),
+                 "outside");
+}
+
+TEST(Floorplan, UtilizationIsPlacedFraction)
+{
+    Floorplan fp(2e-3, 2e-3);
+    fp.addUnit("quarter", UnitKind::L2, {0.0, 0.0, 1e-3, 1e-3}, 0);
+    EXPECT_NEAR(fp.utilization(), 0.25, 1e-12);
+}
+
+TEST(Floorplan, RasterizeFractionsSumToOne)
+{
+    Floorplan fp(1e-3, 1e-3);
+    fp.addUnit("u", UnitKind::DCache,
+               {0.1e-3, 0.2e-3, 0.55e-3, 0.35e-3}, 0);
+    const auto maps = fp.rasterize(8, 8);
+    ASSERT_EQ(maps.size(), 1u);
+    const double total = std::accumulate(maps[0].fractions.begin(),
+                                         maps[0].fractions.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    for (int cell : maps[0].cells) {
+        EXPECT_GE(cell, 0);
+        EXPECT_LT(cell, 64);
+    }
+}
+
+TEST(Floorplan, RasterizeAlignedUnitHitsExactCells)
+{
+    Floorplan fp(1e-3, 1e-3);
+    // Exactly the top-left quadrant of a 2x2 grid.
+    fp.addUnit("q", UnitKind::L2, {0.0, 0.0, 0.5e-3, 0.5e-3}, 0);
+    const auto maps = fp.rasterize(2, 2);
+    ASSERT_EQ(maps[0].cells.size(), 1u);
+    EXPECT_EQ(maps[0].cells[0], 0);
+    EXPECT_NEAR(maps[0].fractions[0], 1.0, 1e-9);
+}
+
+class SkylakeCores : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SkylakeCores, BuildsRequestedCores)
+{
+    SkylakeParams params;
+    params.numCores = GetParam();
+    const Floorplan fp = buildSkylakeFloorplan(params);
+
+    // 13 units per core + L3 + SoC.
+    EXPECT_EQ(fp.numUnits(),
+              static_cast<size_t>(13 * params.numCores + 2));
+    for (int c = 0; c < params.numCores; ++c) {
+        EXPECT_GE(fp.findUnit(UnitKind::IntALU, c), 0);
+        EXPECT_GE(fp.findUnit(UnitKind::FPU, c), 0);
+        EXPECT_GE(fp.findUnit(UnitKind::DCache, c), 0);
+    }
+    EXPECT_GE(fp.findUnit(UnitKind::L3, -1), 0);
+    EXPECT_GE(fp.findUnit(UnitKind::SoC, -1), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(CoreCounts, SkylakeCores,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(Skylake, CoreUnitsTileTheCoreExactly)
+{
+    const Floorplan fp = buildSkylakeFloorplan();
+    double core0_area = 0.0;
+    for (const auto &u : fp.units())
+        if (u.coreId == 0)
+            core0_area += u.rect.area();
+    const double edge = SkylakeParams{}.coreSize;
+    EXPECT_NEAR(core0_area, edge * edge, edge * edge * 0.01);
+}
+
+TEST(Skylake, UnitsDoNotOverlap)
+{
+    const Floorplan fp = buildSkylakeFloorplan();
+    const auto &units = fp.units();
+    for (size_t i = 0; i < units.size(); ++i) {
+        for (size_t j = i + 1; j < units.size(); ++j) {
+            EXPECT_LT(units[i].rect.overlapArea(units[j].rect),
+                      1e-12)
+                << units[i].name << " overlaps " << units[j].name;
+        }
+    }
+}
+
+TEST(Skylake, AluIsAdjacentToSchedulerAndFpu)
+{
+    // The hotspot cluster: ALU must sit next to scheduler and FPU so
+    // execution bursts heat a contiguous region (what makes tsens03 the
+    // best sensor site).
+    const Floorplan fp = buildSkylakeFloorplan();
+    const auto &alu = fp.unit(fp.findUnit(UnitKind::IntALU, 0)).rect;
+    const auto &sched =
+        fp.unit(fp.findUnit(UnitKind::Scheduler, 0)).rect;
+    const auto &fpu = fp.unit(fp.findUnit(UnitKind::FPU, 0)).rect;
+    EXPECT_LT(distance(alu.center(), sched.center()), 1.5e-3);
+    EXPECT_LT(distance(alu.center(), fpu.center()), 1.5e-3);
+}
+
+TEST(Skylake, UtilizationIsReasonable)
+{
+    const Floorplan fp = buildSkylakeFloorplan();
+    EXPECT_GT(fp.utilization(), 0.5);
+    EXPECT_LE(fp.utilization(), 1.0);
+}

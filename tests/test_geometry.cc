@@ -1,0 +1,59 @@
+/** @file Unit tests for floorplan geometry. */
+
+#include <gtest/gtest.h>
+
+#include "floorplan/geometry.hh"
+
+using namespace boreas;
+
+TEST(Rect, BasicAccessors)
+{
+    const Rect r{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(r.right(), 4.0);
+    EXPECT_DOUBLE_EQ(r.bottom(), 6.0);
+    EXPECT_DOUBLE_EQ(r.area(), 12.0);
+    EXPECT_DOUBLE_EQ(r.center().x, 2.5);
+    EXPECT_DOUBLE_EQ(r.center().y, 4.0);
+}
+
+TEST(Rect, ContainsIsHalfOpen)
+{
+    const Rect r{0.0, 0.0, 1.0, 1.0};
+    EXPECT_TRUE(r.contains({0.0, 0.0}));
+    EXPECT_TRUE(r.contains({0.5, 0.5}));
+    EXPECT_FALSE(r.contains({1.0, 0.5}));
+    EXPECT_FALSE(r.contains({0.5, 1.0}));
+    EXPECT_FALSE(r.contains({-0.1, 0.5}));
+}
+
+TEST(Rect, OverlapAreaFullPartialNone)
+{
+    const Rect a{0.0, 0.0, 2.0, 2.0};
+    EXPECT_DOUBLE_EQ(a.overlapArea(a), 4.0);
+    const Rect b{1.0, 1.0, 2.0, 2.0};
+    EXPECT_DOUBLE_EQ(a.overlapArea(b), 1.0);
+    EXPECT_DOUBLE_EQ(b.overlapArea(a), 1.0);
+    const Rect c{5.0, 5.0, 1.0, 1.0};
+    EXPECT_DOUBLE_EQ(a.overlapArea(c), 0.0);
+}
+
+TEST(Rect, OverlapTouchingEdgesIsZero)
+{
+    const Rect a{0.0, 0.0, 1.0, 1.0};
+    const Rect b{1.0, 0.0, 1.0, 1.0};
+    EXPECT_DOUBLE_EQ(a.overlapArea(b), 0.0);
+}
+
+TEST(Rect, Translated)
+{
+    const Rect r = Rect{1.0, 1.0, 2.0, 2.0}.translated(0.5, -0.5);
+    EXPECT_DOUBLE_EQ(r.x, 1.5);
+    EXPECT_DOUBLE_EQ(r.y, 0.5);
+    EXPECT_DOUBLE_EQ(r.w, 2.0);
+}
+
+TEST(Point, Distance)
+{
+    EXPECT_DOUBLE_EQ(distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+    EXPECT_DOUBLE_EQ(distance({1.0, 1.0}, {1.0, 1.0}), 0.0);
+}

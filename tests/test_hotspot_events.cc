@@ -1,0 +1,137 @@
+/** @file Unit tests for hotspot event extraction. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hotspot/events.hh"
+
+using namespace boreas;
+
+namespace
+{
+
+SeveritySnapshot
+snap(double sev, int cell = 7, Celsius temp = 100.0,
+     Celsius mltd = 20.0)
+{
+    SeveritySnapshot s;
+    s.maxSeverity = sev;
+    s.argmaxCell = cell;
+    s.tempAtMax = temp;
+    s.mltdAtMax = mltd;
+    return s;
+}
+
+std::vector<SeveritySnapshot>
+series(std::initializer_list<double> sevs)
+{
+    std::vector<SeveritySnapshot> out;
+    for (double s : sevs)
+        out.push_back(snap(s));
+    return out;
+}
+
+} // namespace
+
+TEST(HotspotEvents, QuietTraceHasNoEvents)
+{
+    const auto events = extractHotspotEvents(
+        series({0.2, 0.5, 0.7, 0.79, 0.6}));
+    EXPECT_TRUE(events.empty());
+}
+
+TEST(HotspotEvents, SingleEventBoundsAndPeak)
+{
+    // steps:          0    1    2    3    4    5    6
+    const auto events = extractHotspotEvents(
+        series({0.5, 0.85, 1.02, 1.20, 1.05, 0.70, 0.4}));
+    ASSERT_EQ(events.size(), 1u);
+    const HotspotEvent &e = events[0];
+    EXPECT_EQ(e.startStep, 2);
+    EXPECT_EQ(e.endStep, 5); // first step back below the arm level
+    EXPECT_EQ(e.durationSteps(), 3);
+    EXPECT_DOUBLE_EQ(e.peakSeverity, 1.20);
+    EXPECT_EQ(e.peakCell, 7);
+}
+
+TEST(HotspotEvents, OnsetMeasuresArmToThresholdTime)
+{
+    // Armed at step 1 (0.85), threshold at step 3: onset = 2 steps.
+    const auto events = extractHotspotEvents(
+        series({0.5, 0.85, 0.9, 1.05, 0.5}));
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_NEAR(events[0].onset, 2 * kTelemetryStep, 1e-12);
+}
+
+TEST(HotspotEvents, HysteresisMergesThresholdJitter)
+{
+    // Severity dips to 0.95 (below threshold, above arm level) mid-way:
+    // still one event.
+    const auto events = extractHotspotEvents(
+        series({0.5, 0.9, 1.1, 0.95, 1.2, 0.6}));
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].startStep, 2);
+    EXPECT_EQ(events[0].endStep, 5);
+    EXPECT_DOUBLE_EQ(events[0].peakSeverity, 1.2);
+}
+
+TEST(HotspotEvents, SeparateEventsWhenDroppingBelowArmLevel)
+{
+    const auto events = extractHotspotEvents(
+        series({0.9, 1.1, 0.5, 0.9, 1.3, 0.5}));
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].startStep, 1);
+    EXPECT_EQ(events[1].startStep, 4);
+    EXPECT_DOUBLE_EQ(events[1].peakSeverity, 1.3);
+}
+
+TEST(HotspotEvents, OpenEventClosedByFinish)
+{
+    HotspotDetector d;
+    for (double s : {0.5, 0.9, 1.1, 1.2})
+        d.observe(snap(s));
+    EXPECT_TRUE(d.events().empty()); // still open
+    d.finish();
+    ASSERT_EQ(d.events().size(), 1u);
+    EXPECT_EQ(d.events()[0].endStep, 4);
+}
+
+TEST(HotspotEvents, TraceStartingHotHasSentinelOnset)
+{
+    // Already above the arm level (even above threshold) at step 0:
+    // onset is unknowable, reported as negative.
+    const auto events = extractHotspotEvents(series({1.1, 1.2, 0.5}));
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_LT(events[0].onset, 0.0);
+}
+
+TEST(HotspotEvents, AggregatesAndReset)
+{
+    HotspotDetector d;
+    for (double s : {0.9, 1.1, 0.5, 0.85, 1.05, 1.1, 0.4})
+        d.observe(snap(s));
+    d.finish();
+    EXPECT_EQ(d.events().size(), 2u);
+    EXPECT_EQ(d.totalEventSteps(), 1 + 2);
+    EXPECT_LT(d.fastestOnset(), 2 * kTelemetryStep + 1e-12);
+    d.reset();
+    EXPECT_TRUE(d.events().empty());
+    EXPECT_TRUE(std::isinf(d.fastestOnset()));
+}
+
+TEST(HotspotEvents, CustomThresholdAndArmLevel)
+{
+    HotspotDetector d(0.95, 0.9);
+    for (double s : {0.91, 0.96, 0.92, 0.8})
+        d.observe(snap(s));
+    d.finish();
+    ASSERT_EQ(d.events().size(), 1u);
+    EXPECT_EQ(d.events()[0].startStep, 1);
+    EXPECT_EQ(d.events()[0].endStep, 3);
+}
+
+TEST(HotspotEventsDeathTest, ArmLevelMustBeBelowThreshold)
+{
+    EXPECT_DEATH(HotspotDetector(1.0, 1.0), "arm level");
+}

@@ -1,0 +1,152 @@
+/** @file Unit tests for the dense matrix kernel. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/matrix.hh"
+
+using namespace boreas;
+
+TEST(Matrix, IdentityMultiplication)
+{
+    Matrix a(2, 3);
+    a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+    a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+    const Matrix r = a.multiply(Matrix::identity(3));
+    for (size_t i = 0; i < 2; ++i)
+        for (size_t j = 0; j < 3; ++j)
+            EXPECT_DOUBLE_EQ(r(i, j), a(i, j));
+}
+
+TEST(Matrix, MultiplyKnownProduct)
+{
+    Matrix a(2, 2), b(2, 2);
+    a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+    b(0, 0) = 5; b(0, 1) = 6; b(1, 0) = 7; b(1, 1) = 8;
+    const Matrix c = a.multiply(b);
+    EXPECT_DOUBLE_EQ(c(0, 0), 19);
+    EXPECT_DOUBLE_EQ(c(0, 1), 22);
+    EXPECT_DOUBLE_EQ(c(1, 0), 43);
+    EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(Matrix, MatrixVectorProduct)
+{
+    Matrix a(2, 3);
+    a(0, 0) = 1; a(0, 1) = 0; a(0, 2) = 2;
+    a(1, 0) = 0; a(1, 1) = 3; a(1, 2) = 0;
+    const auto v = a.multiply(std::vector<double>{1.0, 2.0, 3.0});
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_DOUBLE_EQ(v[0], 7.0);
+    EXPECT_DOUBLE_EQ(v[1], 6.0);
+}
+
+TEST(Matrix, TransposeRoundTrip)
+{
+    Matrix a(2, 3);
+    for (size_t i = 0; i < 2; ++i)
+        for (size_t j = 0; j < 3; ++j)
+            a(i, j) = static_cast<double>(i * 3 + j);
+    const Matrix att = a.transposed().transposed();
+    for (size_t i = 0; i < 2; ++i)
+        for (size_t j = 0; j < 3; ++j)
+            EXPECT_DOUBLE_EQ(att(i, j), a(i, j));
+}
+
+TEST(Matrix, SolveDiagonalSystem)
+{
+    Matrix a(3, 3);
+    a(0, 0) = 2; a(1, 1) = 4; a(2, 2) = 8;
+    const auto x = Matrix::solve(a, {2.0, 4.0, 8.0});
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 1.0, 1e-12);
+    EXPECT_NEAR(x[2], 1.0, 1e-12);
+}
+
+TEST(Matrix, SolveNeedsPivoting)
+{
+    // Leading zero forces a row swap.
+    Matrix a(2, 2);
+    a(0, 0) = 0; a(0, 1) = 1;
+    a(1, 0) = 1; a(1, 1) = 0;
+    const auto x = Matrix::solve(a, {3.0, 7.0});
+    EXPECT_NEAR(x[0], 7.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Matrix, SolveResidualIsSmall)
+{
+    Matrix a(4, 4);
+    // A diagonally dominant random-ish system.
+    const double vals[4][4] = {{10, 1, 2, 0},
+                               {1, 12, -1, 3},
+                               {2, -1, 9, 1},
+                               {0, 3, 1, 11}};
+    for (size_t i = 0; i < 4; ++i)
+        for (size_t j = 0; j < 4; ++j)
+            a(i, j) = vals[i][j];
+    const std::vector<double> b{1.0, -2.0, 3.0, 0.5};
+    const auto x = Matrix::solve(a, b);
+    const auto ax = a.multiply(x);
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_NEAR(ax[i], b[i], 1e-10);
+}
+
+TEST(MatrixDeathTest, SingularSystemPanics)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 1; a(0, 1) = 2;
+    a(1, 0) = 2; a(1, 1) = 4;
+    EXPECT_DEATH(Matrix::solve(a, {1.0, 2.0}), "singular");
+}
+
+TEST(Matrix, SymmetricEigenDiagonal)
+{
+    Matrix a(3, 3);
+    a(0, 0) = 1; a(1, 1) = 5; a(2, 2) = 3;
+    std::vector<double> vals;
+    Matrix vecs;
+    a.symmetricEigen(vals, vecs);
+    ASSERT_EQ(vals.size(), 3u);
+    EXPECT_NEAR(vals[0], 5.0, 1e-10);
+    EXPECT_NEAR(vals[1], 3.0, 1e-10);
+    EXPECT_NEAR(vals[2], 1.0, 1e-10);
+}
+
+TEST(Matrix, SymmetricEigenKnown2x2)
+{
+    // [[2,1],[1,2]] has eigenvalues 3 and 1.
+    Matrix a(2, 2);
+    a(0, 0) = 2; a(0, 1) = 1; a(1, 0) = 1; a(1, 1) = 2;
+    std::vector<double> vals;
+    Matrix vecs;
+    a.symmetricEigen(vals, vecs);
+    EXPECT_NEAR(vals[0], 3.0, 1e-10);
+    EXPECT_NEAR(vals[1], 1.0, 1e-10);
+    // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+    EXPECT_NEAR(std::fabs(vecs(0, 0)), 1.0 / std::sqrt(2.0), 1e-8);
+    EXPECT_NEAR(std::fabs(vecs(1, 0)), 1.0 / std::sqrt(2.0), 1e-8);
+}
+
+TEST(Matrix, EigenVectorsReconstruct)
+{
+    // A = V diag(vals) V^T must reproduce the original matrix.
+    Matrix a(3, 3);
+    const double vals_in[3][3] = {{4, 1, 0.5},
+                                  {1, 3, -0.2},
+                                  {0.5, -0.2, 5}};
+    for (size_t i = 0; i < 3; ++i)
+        for (size_t j = 0; j < 3; ++j)
+            a(i, j) = vals_in[i][j];
+    std::vector<double> vals;
+    Matrix v;
+    a.symmetricEigen(vals, v);
+    Matrix d(3, 3);
+    for (size_t i = 0; i < 3; ++i)
+        d(i, i) = vals[i];
+    const Matrix rec = v.multiply(d).multiply(v.transposed());
+    for (size_t i = 0; i < 3; ++i)
+        for (size_t j = 0; j < 3; ++j)
+            EXPECT_NEAR(rec(i, j), a(i, j), 1e-8);
+}

@@ -1,0 +1,249 @@
+/** @file Unit tests for CV/grid search, linear regression, PCA, k-means
+ *  and the feature schema. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hh"
+#include "ml/cv.hh"
+#include "ml/feature_schema.hh"
+#include "ml/kmeans.hh"
+#include "ml/linreg.hh"
+#include "ml/pca.hh"
+
+using namespace boreas;
+
+namespace
+{
+
+Dataset
+groupedLinearData(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    Dataset d({"x0", "x1"});
+    for (size_t i = 0; i < n; ++i) {
+        const double x0 = rng.uniform(-1.0, 1.0);
+        const double x1 = rng.uniform(-1.0, 1.0);
+        d.addRow({x0, x1}, 2.0 * x0 + x1 + rng.normal(0.0, 0.05),
+                 static_cast<int>(i % 5));
+    }
+    return d;
+}
+
+} // namespace
+
+TEST(CV, LeaveOneGroupOutUsesEveryGroupOnce)
+{
+    const Dataset d = groupedLinearData(500, 1);
+    GBTParams params;
+    params.nEstimators = 20;
+    const CVResult res = leaveOneGroupOutCV(d, params);
+    EXPECT_EQ(res.foldMse.size(), 5u);
+    EXPECT_GT(res.meanMse, 0.0);
+    EXPECT_LT(res.meanMse, 0.2);
+}
+
+TEST(CV, MaxFoldsCapsWork)
+{
+    const Dataset d = groupedLinearData(500, 2);
+    GBTParams params;
+    params.nEstimators = 10;
+    const CVResult res = leaveOneGroupOutCV(d, params, /*max_folds=*/2);
+    EXPECT_EQ(res.foldMse.size(), 2u);
+}
+
+TEST(CV, GridSearchPrefersBetterConfig)
+{
+    const Dataset d = groupedLinearData(800, 3);
+    GBTParams bad;
+    bad.nEstimators = 1;
+    bad.maxDepth = 1;
+    GBTParams good;
+    good.nEstimators = 60;
+    const GridSearchResult res = gridSearchCV(d, {bad, good});
+    EXPECT_EQ(res.bestIndex, 1u);
+    EXPECT_LT(res.bestMse(), res.entries[0].cv.meanMse);
+}
+
+TEST(LinearRegression, ExactOnNoiselessLinearData)
+{
+    Dataset d({"x0", "x1"});
+    Rng rng(4);
+    for (int i = 0; i < 200; ++i) {
+        const double x0 = rng.uniform(-2.0, 2.0);
+        const double x1 = rng.uniform(-2.0, 2.0);
+        d.addRow({x0, x1}, 3.0 * x0 - 1.5 * x1 + 0.7, 0);
+    }
+    LinearRegression lr;
+    lr.fit(d, 1e-9);
+    EXPECT_NEAR(lr.weights()[0], 3.0, 1e-6);
+    EXPECT_NEAR(lr.weights()[1], -1.5, 1e-6);
+    EXPECT_NEAR(lr.intercept(), 0.7, 1e-6);
+    EXPECT_LT(lr.mse(d), 1e-10);
+}
+
+TEST(LinearRegression, RidgeShrinksWeights)
+{
+    Dataset d({"x"});
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        const double x = rng.uniform(-1.0, 1.0);
+        d.addRow({x}, 5.0 * x, 0);
+    }
+    LinearRegression loose, tight;
+    loose.fit(d, 1e-9);
+    tight.fit(d, 1e3);
+    EXPECT_NEAR(loose.weights()[0], 5.0, 1e-6);
+    EXPECT_LT(std::fabs(tight.weights()[0]),
+              std::fabs(loose.weights()[0]));
+}
+
+TEST(PCA, RecoversDominantDirection)
+{
+    // Data on the line x1 = 2*x0 with small orthogonal noise.
+    Rng rng(6);
+    std::vector<double> x;
+    for (int i = 0; i < 500; ++i) {
+        const double t = rng.uniform(-1.0, 1.0);
+        x.push_back(t + rng.normal(0.0, 0.01));
+        x.push_back(2.0 * t + rng.normal(0.0, 0.01));
+    }
+    PCA pca;
+    pca.fit(x, 2, 2);
+    // First component explains almost all variance.
+    EXPECT_GT(pca.explainedVariance()[0], 0.95);
+    EXPECT_LT(pca.explainedVariance()[1], 0.05);
+}
+
+TEST(PCA, TransformHasRequestedDimension)
+{
+    Rng rng(7);
+    std::vector<double> x;
+    for (int i = 0; i < 100; ++i)
+        for (int j = 0; j < 6; ++j)
+            x.push_back(rng.uniform());
+    PCA pca;
+    pca.fit(x, 6, 3);
+    const auto z = pca.transform(std::vector<double>(6, 0.5));
+    EXPECT_EQ(z.size(), 3u);
+    const auto all = pca.transformAll(x);
+    EXPECT_EQ(all.size(), 100u * 3u);
+}
+
+TEST(PCA, CentersData)
+{
+    // Transformed training data has ~zero mean per component.
+    Rng rng(8);
+    std::vector<double> x;
+    for (int i = 0; i < 400; ++i) {
+        x.push_back(10.0 + rng.normal(0.0, 1.0));
+        x.push_back(-5.0 + rng.normal(0.0, 2.0));
+    }
+    PCA pca;
+    pca.fit(x, 2, 2);
+    const auto z = pca.transformAll(x);
+    double m0 = 0.0, m1 = 0.0;
+    for (size_t i = 0; i < 400; ++i) {
+        m0 += z[i * 2];
+        m1 += z[i * 2 + 1];
+    }
+    EXPECT_NEAR(m0 / 400.0, 0.0, 1e-9);
+    EXPECT_NEAR(m1 / 400.0, 0.0, 1e-9);
+}
+
+TEST(KMeans, SeparatesGaussianBlobs)
+{
+    Rng rng(9);
+    std::vector<double> x;
+    for (int i = 0; i < 200; ++i) {
+        x.push_back(rng.normal(0.0, 0.1));
+        x.push_back(rng.normal(0.0, 0.1));
+    }
+    for (int i = 0; i < 200; ++i) {
+        x.push_back(rng.normal(5.0, 0.1));
+        x.push_back(rng.normal(5.0, 0.1));
+    }
+    const KMeansResult res = kmeans(x, 2, 2, rng);
+    EXPECT_EQ(res.k(), 2u);
+    // All points of each blob share an assignment.
+    const int first = res.assignments[0];
+    for (int i = 1; i < 200; ++i)
+        EXPECT_EQ(res.assignments[i], first);
+    const int second = res.assignments[200];
+    EXPECT_NE(second, first);
+    for (int i = 201; i < 400; ++i)
+        EXPECT_EQ(res.assignments[i], second);
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters)
+{
+    Rng rng(10);
+    std::vector<double> x;
+    for (int i = 0; i < 300; ++i)
+        x.push_back(rng.uniform(0.0, 10.0));
+    Rng r1(1), r2(1);
+    const double inertia2 = kmeans(x, 1, 2, r1).inertia;
+    const double inertia8 = kmeans(x, 1, 8, r2).inertia;
+    EXPECT_LT(inertia8, inertia2);
+}
+
+TEST(KMeans, NearestMatchesAssignments)
+{
+    Rng rng(11);
+    std::vector<double> x;
+    for (int i = 0; i < 50; ++i) {
+        x.push_back(rng.uniform());
+        x.push_back(rng.uniform());
+    }
+    const KMeansResult res = kmeans(x, 2, 3, rng);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(res.nearest(x.data() + i * 2), res.assignments[i]);
+}
+
+TEST(FeatureSchema, Has78Attributes)
+{
+    const auto &schema = fullFeatureSchema();
+    EXPECT_EQ(schema.size(), 78u);
+    EXPECT_EQ(schema.size(), kNumFullFeatures);
+    EXPECT_EQ(schema[kTempFeatureIndex], "temperature_sensor_data");
+    EXPECT_EQ(schema[kFreqFeatureIndex], "frequency");
+    // No duplicates.
+    std::set<std::string> uniq(schema.begin(), schema.end());
+    EXPECT_EQ(uniq.size(), schema.size());
+}
+
+TEST(FeatureSchema, AssembleLaysOutCountersThenTempThenFreq)
+{
+    CounterSet c;
+    c[Counter::TotalCycles] = 123.0;
+    c[Counter::RobReads] = 9.0;
+    const auto x = assembleFeatures(c, 77.5, 4.25);
+    ASSERT_EQ(x.size(), kNumFullFeatures);
+    EXPECT_DOUBLE_EQ(x[static_cast<size_t>(Counter::TotalCycles)], 123.0);
+    EXPECT_DOUBLE_EQ(x[static_cast<size_t>(Counter::RobReads)], 9.0);
+    EXPECT_DOUBLE_EQ(x[kTempFeatureIndex], 77.5);
+    EXPECT_DOUBLE_EQ(x[kFreqFeatureIndex], 4.25);
+}
+
+TEST(FeatureSchema, PaperTop20AllExistInSchema)
+{
+    const auto &top = paperTop20Features();
+    EXPECT_EQ(top.size(), 20u);
+    EXPECT_EQ(top.back(), "temperature_sensor_data");
+    const auto idx = featureIndicesOf(top); // panics if any is unknown
+    EXPECT_EQ(idx.size(), 20u);
+}
+
+TEST(FeatureSchema, DeployedSetIsTop20PlusFrequency)
+{
+    const auto &dep = deployedFeatureNames();
+    EXPECT_EQ(dep.size(), 21u);
+    EXPECT_EQ(dep.back(), "frequency");
+}
+
+TEST(FeatureSchemaDeathTest, UnknownFeaturePanics)
+{
+    EXPECT_DEATH(featureIndicesOf({"bogus_feature"}), "unknown feature");
+}

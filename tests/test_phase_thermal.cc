@@ -1,0 +1,134 @@
+/** @file Unit tests for the Cochran-Reda phase-thermal baseline. */
+
+#include <gtest/gtest.h>
+
+#include "arch/counters.hh"
+#include "common/rng.hh"
+#include "control/phase_thermal.hh"
+
+using namespace boreas;
+
+namespace
+{
+
+/** A kNumCounters-wide vector whose first two entries carry the phase
+ *  signature: hot ~ (100, 0), cool ~ (0, 100). */
+std::vector<double>
+phaseVector(bool hot, Rng *rng = nullptr)
+{
+    std::vector<double> v(kNumCounters, 0.0);
+    auto jitter = [&](double mean) {
+        return rng ? rng->normal(mean, 3.0) : mean;
+    };
+    v[0] = jitter(hot ? 100.0 : 0.0);
+    v[1] = jitter(hot ? 0.0 : 100.0);
+    v[2] = rng ? rng->normal(50.0, 1.0) : 50.0;
+    return v;
+}
+
+/**
+ * Synthetic world with two phases; next temperature is
+ * temp_now + heat_rate(phase) * freq_index.
+ */
+std::vector<PhaseThermalSample>
+syntheticSamples(size_t n, uint64_t seed, int max_freq_index = 3)
+{
+    Rng rng(seed);
+    std::vector<PhaseThermalSample> out;
+    for (size_t i = 0; i < n; ++i) {
+        const bool hot = (i % 2) == 0;
+        PhaseThermalSample s;
+        s.counters = phaseVector(hot, &rng);
+        s.tempNow = rng.uniform(50.0, 90.0);
+        s.freqIndex = rng.uniformInt(0, max_freq_index);
+        const double rate = hot ? 2.0 : 0.5;
+        s.tempNext = s.tempNow + rate * s.freqIndex;
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(PhaseThermalModel, LearnsPhaseDependentHeating)
+{
+    Rng rng(1);
+    PhaseThermalModel model;
+    model.train(syntheticSamples(2000, 7), /*num_phases=*/2,
+                /*num_components=*/2, /*num_freqs=*/4, rng);
+    ASSERT_TRUE(model.trained());
+
+    const auto hot = phaseVector(true);
+    const auto cool = phaseVector(false);
+    // Hot phase at freq 3: +6 C; cool phase: +1.5 C.
+    EXPECT_NEAR(model.predictNextTemp(hot, 70.0, 3), 76.0, 1.0);
+    EXPECT_NEAR(model.predictNextTemp(cool, 70.0, 3), 71.5, 1.0);
+    // Frequency monotonicity within the hot phase.
+    EXPECT_LT(model.predictNextTemp(hot, 70.0, 0),
+              model.predictNextTemp(hot, 70.0, 3));
+}
+
+TEST(PhaseThermalModel, ClassifiesPhasesConsistently)
+{
+    Rng rng(2);
+    PhaseThermalModel model;
+    model.train(syntheticSamples(1000, 9), 2, 2, 4, rng);
+    const int hot_phase = model.classifyPhase(phaseVector(true));
+    const int cool_phase = model.classifyPhase(phaseVector(false));
+    EXPECT_NE(hot_phase, cool_phase);
+    // A nearby point classifies the same.
+    auto near_hot = phaseVector(true);
+    near_hot[0] = 97.0;
+    near_hot[1] = 3.0;
+    EXPECT_EQ(model.classifyPhase(near_hot), hot_phase);
+}
+
+TEST(PhaseThermalModel, FallsBackWhenCellUnpopulated)
+{
+    // Train with freq indices 0..3 but declare 6 frequencies: indices
+    // 4-5 have no data anywhere and must fall back without panicking.
+    Rng rng(3);
+    PhaseThermalModel model;
+    model.train(syntheticSamples(800, 11), 2, 2, 6, rng);
+    const double pred =
+        model.predictNextTemp(phaseVector(true), 70.0, 5);
+    EXPECT_GT(pred, 40.0);
+    EXPECT_LT(pred, 120.0);
+}
+
+TEST(PhaseThermalController, ThrottleAndBoostDecisions)
+{
+    Rng rng(4);
+    PhaseThermalModel model;
+    model.train(syntheticSamples(3000, 13, /*max_freq_index=*/12), 2, 2,
+                13, rng);
+
+    VFTable vf;
+    CriticalTempTable table;
+    table.criticalTemp.assign(vf.numPoints(), 75.0);
+    PhaseThermalController c("CR", &model, table, 0.0, 0);
+
+    CounterSet counters;
+    const auto hot = phaseVector(true);
+    std::copy(hot.begin(), hot.end(), counters.values.begin());
+
+    DecisionContext ctx;
+    ctx.currentFreq = 4.0;
+    ctx.counters = &counters;
+    ctx.sensorReadings = {74.0}; // hot phase: prediction exceeds 75
+    ctx.vf = &vf;
+    EXPECT_DOUBLE_EQ(c.decide(ctx), 3.75);
+
+    ctx.sensorReadings = {40.0}; // plenty of headroom: boost
+    EXPECT_DOUBLE_EQ(c.decide(ctx), 4.25);
+}
+
+TEST(PhaseThermalControllerDeathTest, RequiresTrainedModel)
+{
+    PhaseThermalModel untrained;
+    VFTable vf;
+    CriticalTempTable table;
+    table.criticalTemp.assign(vf.numPoints(), 75.0);
+    EXPECT_DEATH(PhaseThermalController("CR", &untrained, table, 0.0, 0),
+                 "trained");
+}

@@ -1,0 +1,137 @@
+/** @file Unit tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hh"
+
+using namespace boreas;
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(3);
+    double acc = 0.0;
+    constexpr int kN = 100000;
+    for (int i = 0; i < kN; ++i)
+        acc += rng.uniform();
+    EXPECT_NEAR(acc / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive)
+{
+    Rng rng(11);
+    std::set<int> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const int v = rng.uniformInt(2, 5);
+        EXPECT_GE(v, 2);
+        EXPECT_LE(v, 5);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, UniformIntDegenerateRange)
+{
+    Rng rng(1);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.uniformInt(3, 3), 3);
+}
+
+TEST(Rng, NormalMomentsAreStandard)
+{
+    Rng rng(5);
+    double sum = 0.0, sum2 = 0.0;
+    constexpr int kN = 200000;
+    for (int i = 0; i < kN; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sum2 += x * x;
+    }
+    const double mean = sum / kN;
+    const double var = sum2 / kN - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaledMoments)
+{
+    Rng rng(5);
+    double sum = 0.0;
+    constexpr int kN = 50000;
+    for (int i = 0; i < kN; ++i)
+        sum += rng.normal(10.0, 2.0);
+    EXPECT_NEAR(sum / kN, 10.0, 0.1);
+}
+
+TEST(Rng, ForkedStreamsDecorrelated)
+{
+    Rng parent(9);
+    Rng a = parent.fork(1);
+    Rng b = parent.fork(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(13);
+    std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    std::vector<int> orig = v;
+    rng.shuffle(v);
+    std::multiset<int> a(v.begin(), v.end());
+    std::multiset<int> b(orig.begin(), orig.end());
+    EXPECT_EQ(a, b);
+}
+
+TEST(Rng, ShuffleEmptyAndSingleton)
+{
+    Rng rng(1);
+    std::vector<int> empty;
+    rng.shuffle(empty);
+    EXPECT_TRUE(empty.empty());
+    std::vector<int> one{42};
+    rng.shuffle(one);
+    EXPECT_EQ(one[0], 42);
+}

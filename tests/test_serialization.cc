@@ -1,0 +1,191 @@
+/** @file Round-trip tests for model persistence: every trained artifact
+ *  must reload to an object that predicts identically. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "arch/counters.hh"
+#include "common/rng.hh"
+#include "control/phase_thermal.hh"
+#include "boreas/trainer.hh"
+#include "ml/linreg.hh"
+#include "ml/pca.hh"
+
+using namespace boreas;
+
+TEST(Serialization, LinearRegressionRoundTrip)
+{
+    Rng rng(1);
+    std::vector<double> x, y;
+    for (int i = 0; i < 200; ++i) {
+        const double a = rng.uniform(-1.0, 1.0);
+        const double b = rng.uniform(-1.0, 1.0);
+        x.push_back(a);
+        x.push_back(b);
+        y.push_back(2.0 * a - b + 0.25);
+    }
+    LinearRegression lr;
+    lr.fit(x, 2, y);
+
+    std::stringstream buf;
+    lr.save(buf);
+    LinearRegression loaded;
+    loaded.load(buf);
+    for (int i = 0; i < 20; ++i) {
+        const std::vector<double> q{rng.uniform(-1.0, 1.0),
+                                    rng.uniform(-1.0, 1.0)};
+        EXPECT_DOUBLE_EQ(loaded.predict(q), lr.predict(q));
+    }
+}
+
+TEST(Serialization, PcaRoundTrip)
+{
+    Rng rng(2);
+    std::vector<double> x;
+    for (int i = 0; i < 300; ++i)
+        for (int j = 0; j < 5; ++j)
+            x.push_back(rng.normal(j * 2.0, 1.0 + j));
+    PCA pca;
+    pca.fit(x, 5, 3);
+
+    std::stringstream buf;
+    pca.save(buf);
+    PCA loaded;
+    loaded.load(buf);
+    EXPECT_EQ(loaded.numComponents(), pca.numComponents());
+    const std::vector<double> q{1.0, 2.0, 3.0, 4.0, 5.0};
+    const auto a = pca.transform(q);
+    const auto b = loaded.transform(q);
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_DOUBLE_EQ(a[i], b[i]);
+    for (size_t i = 0; i < 3; ++i)
+        EXPECT_DOUBLE_EQ(loaded.explainedVariance()[i],
+                         pca.explainedVariance()[i]);
+}
+
+TEST(Serialization, KMeansRoundTrip)
+{
+    Rng rng(3);
+    std::vector<double> x;
+    for (int i = 0; i < 150; ++i) {
+        x.push_back(rng.uniform());
+        x.push_back(rng.uniform());
+        x.push_back(rng.uniform());
+    }
+    const KMeansResult km = kmeans(x, 3, 4, rng);
+
+    std::stringstream buf;
+    km.save(buf);
+    KMeansResult loaded;
+    loaded.load(buf);
+    EXPECT_EQ(loaded.k(), km.k());
+    EXPECT_EQ(loaded.dim, km.dim);
+    for (int i = 0; i < 40; ++i) {
+        const std::vector<double> q{rng.uniform(), rng.uniform(),
+                                    rng.uniform()};
+        EXPECT_EQ(loaded.nearest(q.data()), km.nearest(q.data()));
+    }
+}
+
+namespace
+{
+
+std::vector<PhaseThermalSample>
+syntheticSamples(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<PhaseThermalSample> out;
+    for (size_t i = 0; i < n; ++i) {
+        PhaseThermalSample s;
+        s.counters.assign(kNumCounters, 0.0);
+        const bool hot = (i % 2) == 0;
+        s.counters[0] = rng.normal(hot ? 100.0 : 0.0, 3.0);
+        s.counters[1] = rng.normal(hot ? 0.0 : 100.0, 3.0);
+        s.tempNow = rng.uniform(50.0, 90.0);
+        s.freqIndex = rng.uniformInt(0, 3);
+        s.tempNext = s.tempNow + (hot ? 2.0 : 0.5) * s.freqIndex;
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(Serialization, PhaseThermalModelRoundTrip)
+{
+    Rng rng(4);
+    PhaseThermalModel model;
+    model.train(syntheticSamples(1200, 5), 2, 2, 4, rng);
+
+    std::stringstream buf;
+    model.save(buf);
+    PhaseThermalModel loaded;
+    loaded.load(buf);
+    ASSERT_TRUE(loaded.trained());
+    EXPECT_EQ(loaded.numPhases(), model.numPhases());
+
+    Rng qrng(6);
+    for (int i = 0; i < 30; ++i) {
+        std::vector<double> q(kNumCounters, 0.0);
+        q[0] = qrng.uniform(0.0, 100.0);
+        q[1] = 100.0 - q[0];
+        const double t = qrng.uniform(50.0, 90.0);
+        const int f = qrng.uniformInt(0, 3);
+        EXPECT_DOUBLE_EQ(loaded.predictNextTemp(q, t, f),
+                         model.predictNextTemp(q, t, f));
+        EXPECT_EQ(loaded.classifyPhase(q), model.classifyPhase(q));
+    }
+}
+
+TEST(Serialization, TrainedBundleRoundTrip)
+{
+    // Build a minimal hand-made bundle (full pipeline training is
+    // exercised in test_trainer): a GBT on two features + the phase
+    // model above.
+    TrainedBoreas bundle;
+    bundle.featureNames = {"temperature_sensor_data", "frequency"};
+    {
+        Dataset d(bundle.featureNames);
+        Rng rng(7);
+        for (int i = 0; i < 500; ++i) {
+            const double t = rng.uniform(45.0, 110.0);
+            const double f = 2.0 + 0.25 * rng.uniformInt(0, 12);
+            d.addRow({t, f}, (t - 45.0) / 70.0 + 0.05 * (f - 3.75),
+                     i % 3);
+        }
+        bundle.model.train(d, GBTParams{.nEstimators = 40});
+    }
+    {
+        Rng rng(8);
+        bundle.phaseModel.train(syntheticSamples(800, 9), 2, 2, 4, rng);
+    }
+
+    std::stringstream buf;
+    saveTrainedBoreas(bundle, buf);
+    const TrainedBoreas loaded = loadTrainedBoreas(buf);
+
+    EXPECT_EQ(loaded.featureNames, bundle.featureNames);
+    ASSERT_TRUE(loaded.model.trained());
+    ASSERT_TRUE(loaded.phaseModel.trained());
+    Rng qrng(10);
+    for (int i = 0; i < 40; ++i) {
+        const std::vector<double> q{qrng.uniform(45.0, 110.0),
+                                    2.0 + 0.25 * qrng.uniformInt(0, 12)};
+        EXPECT_DOUBLE_EQ(loaded.model.predict(q),
+                         bundle.model.predict(q));
+    }
+}
+
+TEST(SerializationDeathTest, BundleRejectsGarbage)
+{
+    std::stringstream buf("nope 1");
+    EXPECT_DEATH(loadTrainedBoreas(buf), "bad bundle");
+}
+
+TEST(SerializationDeathTest, UntrainedBundleRefusesToSave)
+{
+    TrainedBoreas empty;
+    std::stringstream buf;
+    EXPECT_DEATH(saveTrainedBoreas(empty, buf), "untrained");
+}

@@ -1,0 +1,170 @@
+/** @file Unit tests for MLTD and the Hotspot-Severity metric. */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "hotspot/severity.hh"
+
+using namespace boreas;
+
+TEST(Severity, PaperAnchorsAreExactlyOne)
+{
+    // Fig. 1: severity is 1.0 at (115, 0), (95, 20) and (80, 40).
+    SeverityModel model;
+    EXPECT_DOUBLE_EQ(model.severity(115.0, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(model.severity(95.0, 20.0), 1.0);
+    EXPECT_DOUBLE_EQ(model.severity(80.0, 40.0), 1.0);
+}
+
+TEST(Severity, ReferenceTemperatureIsZeroSeverity)
+{
+    SeverityModel model;
+    EXPECT_DOUBLE_EQ(model.severity(45.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(model.severity(45.0, 30.0), 0.0);
+    // Below reference clamps to zero.
+    EXPECT_DOUBLE_EQ(model.severity(20.0, 0.0), 0.0);
+}
+
+class SeverityMonotonicity
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(SeverityMonotonicity, IncreasesWithTempAndMltd)
+{
+    const auto [t, m] = GetParam();
+    SeverityModel model;
+    EXPECT_GT(model.severity(t + 5.0, m), model.severity(t, m));
+    EXPECT_GE(model.severity(t, m + 5.0), model.severity(t, m));
+    if (t > 45.0)
+        EXPECT_GT(model.severity(t, m + 5.0), model.severity(t, m));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SeverityMonotonicity,
+    ::testing::Combine(::testing::Values(50.0, 70.0, 90.0, 110.0),
+                       ::testing::Values(0.0, 10.0, 25.0, 45.0)));
+
+TEST(Severity, CriticalTempPiecewiseSegments)
+{
+    SeverityModel model;
+    EXPECT_DOUBLE_EQ(model.criticalTemp(0.0), 115.0);
+    EXPECT_DOUBLE_EQ(model.criticalTemp(10.0), 105.0);
+    EXPECT_DOUBLE_EQ(model.criticalTemp(20.0), 95.0);
+    EXPECT_DOUBLE_EQ(model.criticalTemp(30.0), 87.5);
+    EXPECT_DOUBLE_EQ(model.criticalTemp(40.0), 80.0);
+}
+
+TEST(Severity, CriticalTempClampsAtFloor)
+{
+    SeverityModel model;
+    EXPECT_GE(model.criticalTemp(100.0), model.params().tCritFloor);
+    EXPECT_DOUBLE_EQ(model.criticalTemp(1000.0),
+                     model.params().tCritFloor);
+}
+
+TEST(Severity, NegativeMltdTreatedAsUniform)
+{
+    SeverityModel model;
+    EXPECT_DOUBLE_EQ(model.criticalTemp(-5.0), 115.0);
+}
+
+TEST(SeverityDeathTest, RejectsNonDecreasingAnchors)
+{
+    SeverityParams bad;
+    bad.tCritMid = 120.0; // above tCritUniform
+    EXPECT_DEATH(SeverityModel{bad}, "decreasing");
+}
+
+TEST(Mltd, UniformFieldIsZero)
+{
+    SeverityModel model;
+    const std::vector<Celsius> temps(64, 70.0);
+    const auto mltd = model.mltdField(temps, 8, 8, 0.25e-3);
+    for (Celsius m : mltd)
+        EXPECT_DOUBLE_EQ(m, 0.0);
+}
+
+TEST(Mltd, SingleHotCellSeesDropToNeighbors)
+{
+    SeverityModel model; // radius 1 mm
+    const int nx = 8, ny = 8;
+    std::vector<Celsius> temps(nx * ny, 50.0);
+    temps[3 * nx + 3] = 90.0;
+    // Cell size 0.5 mm -> radius 2 cells.
+    const auto mltd = model.mltdField(temps, nx, ny, 0.5e-3);
+    EXPECT_DOUBLE_EQ(mltd[3 * nx + 3], 40.0);
+    // The cold neighbors see no drop (they ARE the minimum).
+    EXPECT_DOUBLE_EQ(mltd[0], 0.0);
+}
+
+TEST(Mltd, RadiusLimitsVisibility)
+{
+    SeverityParams params;
+    params.mltdRadius = 0.5e-3; // 1 cell at 0.5 mm cells
+    SeverityModel model(params);
+    const int nx = 9, ny = 9;
+    std::vector<Celsius> temps(nx * ny, 80.0);
+    temps[0] = 40.0; // cold corner
+    const auto mltd = model.mltdField(temps, nx, ny, 0.5e-3);
+    // Adjacent cell sees the drop; a cell 4 away does not.
+    EXPECT_DOUBLE_EQ(mltd[1], 40.0);
+    EXPECT_DOUBLE_EQ(mltd[5], 0.0);
+}
+
+TEST(Mltd, GradientFieldDropWithinWindow)
+{
+    SeverityModel model;
+    const int nx = 16, ny = 4;
+    std::vector<Celsius> temps(nx * ny);
+    for (int y = 0; y < ny; ++y)
+        for (int x = 0; x < nx; ++x)
+            temps[y * nx + x] = 50.0 + 2.0 * x; // 2 C per cell in x
+    // Cell size 0.25 mm -> radius 4 cells; interior cell sees its
+    // value minus the cell 4 to the left.
+    const auto mltd = model.mltdField(temps, nx, ny, 0.25e-3);
+    EXPECT_DOUBLE_EQ(mltd[1 * nx + 8], 8.0);
+    // Leftmost cell is the local minimum.
+    EXPECT_DOUBLE_EQ(mltd[1 * nx + 0], 0.0);
+}
+
+TEST(SeverityEvaluate, FindsArgmaxAndFields)
+{
+    SeverityModel model;
+    const int nx = 8, ny = 8;
+    std::vector<Celsius> temps(nx * ny, 60.0);
+    const int hot = 4 * nx + 4;
+    temps[hot] = 100.0;
+    std::vector<double> per_cell;
+    const SeveritySnapshot snap =
+        model.evaluate(temps, nx, ny, 0.5e-3, &per_cell);
+    EXPECT_EQ(snap.argmaxCell, hot);
+    EXPECT_DOUBLE_EQ(snap.tempAtMax, 100.0);
+    EXPECT_DOUBLE_EQ(snap.mltdAtMax, 40.0);
+    EXPECT_DOUBLE_EQ(snap.maxTemp, 100.0);
+    EXPECT_DOUBLE_EQ(snap.maxMltd, 40.0);
+    ASSERT_EQ(per_cell.size(), temps.size());
+    EXPECT_DOUBLE_EQ(per_cell[hot], snap.maxSeverity);
+    // (100, 40): T_crit = 80, so severity = 55/35.
+    EXPECT_NEAR(snap.maxSeverity, 55.0 / 35.0, 1e-12);
+}
+
+TEST(SeverityEvaluate, AdvancedHotspotBeatsUniformHeat)
+{
+    // The core thesis: a chip at uniform 94 C is safe, but an 85 C
+    // hotspot over a 50 C background is NOT, despite being cooler.
+    SeverityModel model;
+    const int nx = 8, ny = 8;
+
+    std::vector<Celsius> uniform(nx * ny, 94.0);
+    const auto uni =
+        model.evaluate(uniform, nx, ny, 0.5e-3);
+    EXPECT_LT(uni.maxSeverity, 1.0);
+
+    std::vector<Celsius> spiky(nx * ny, 50.0);
+    spiky[3 * nx + 3] = 85.0;
+    const auto spike = model.evaluate(spiky, nx, ny, 0.5e-3);
+    EXPECT_GT(spike.maxSeverity, 1.0);
+    EXPECT_LT(spike.maxTemp, uni.maxTemp);
+}

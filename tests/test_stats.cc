@@ -1,0 +1,96 @@
+/** @file Unit tests for statistics helpers and the text table. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+
+using namespace boreas;
+
+TEST(OnlineStats, MatchesBatchComputation)
+{
+    OnlineStats s;
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 10.0};
+    for (double x : xs)
+        s.add(x);
+    EXPECT_EQ(s.count(), xs.size());
+    EXPECT_DOUBLE_EQ(s.mean(), mean(xs));
+    EXPECT_NEAR(s.stddev(), stddev(xs), 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 10.0);
+}
+
+TEST(OnlineStats, SingleSampleHasZeroVariance)
+{
+    OnlineStats s;
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(Stats, MeanOfEmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, PercentileEndpoints)
+{
+    const std::vector<double> v{3.0, 1.0, 2.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.0);
+}
+
+TEST(Stats, PercentileInterpolates)
+{
+    const std::vector<double> v{0.0, 10.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+}
+
+TEST(Stats, MeanSquaredError)
+{
+    EXPECT_DOUBLE_EQ(meanSquaredError({1.0, 2.0}, {1.0, 4.0}), 2.0);
+    EXPECT_DOUBLE_EQ(meanSquaredError({1.0}, {1.0}), 0.0);
+}
+
+TEST(TextTable, AlignsAndPrintsRows)
+{
+    TextTable t;
+    t.setHeader({"name", "value"});
+    t.addRow({"alpha", "1.5"});
+    t.addRow({"b", "20"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("20"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TextTable, CsvOutput)
+{
+    TextTable t;
+    t.setHeader({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, NumFormatsPrecision)
+{
+    EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::num(-0.5, 1), "-0.5");
+}
+
+TEST(TextTableDeathTest, RowWidthMismatchPanics)
+{
+    TextTable t;
+    t.setHeader({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}

@@ -1,0 +1,255 @@
+/** @file Unit tests for the RC-grid thermal solver. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "floorplan/skylake.hh"
+#include "thermal/thermal_grid.hh"
+
+using namespace boreas;
+
+namespace
+{
+
+ThermalParams
+smallGrid()
+{
+    ThermalParams p;
+    p.nx = 16;
+    p.ny = 16;
+    return p;
+}
+
+} // namespace
+
+TEST(ThermalGrid, StartsAtAmbient)
+{
+    const Floorplan fp = buildSkylakeFloorplan();
+    ThermalGrid grid(fp, smallGrid());
+    for (Celsius t : grid.siliconTemps())
+        EXPECT_DOUBLE_EQ(t, kAmbient);
+    EXPECT_DOUBLE_EQ(grid.sinkTemp(), kAmbient);
+}
+
+TEST(ThermalGrid, ZeroPowerStaysAtAmbient)
+{
+    const Floorplan fp = buildSkylakeFloorplan();
+    ThermalGrid grid(fp, smallGrid());
+    grid.setUnitPower(std::vector<Watts>(fp.numUnits(), 0.0));
+    for (int i = 0; i < 100; ++i)
+        grid.step(80e-6);
+    EXPECT_NEAR(grid.maxSiliconTemp(), kAmbient, 1e-9);
+}
+
+TEST(ThermalGrid, StableDtIsPositiveAndSubMillisecond)
+{
+    const Floorplan fp = buildSkylakeFloorplan();
+    ThermalGrid grid(fp, smallGrid());
+    EXPECT_GT(grid.maxStableDt(), 0.0);
+    EXPECT_LT(grid.maxStableDt(), 1e-3);
+}
+
+TEST(ThermalGrid, HeatingRaisesTemperatureOverHotUnit)
+{
+    const Floorplan fp = buildSkylakeFloorplan();
+    ThermalGrid grid(fp, smallGrid());
+    std::vector<Watts> power(fp.numUnits(), 0.0);
+    const int alu = fp.findUnit(UnitKind::IntALU, 0);
+    power[alu] = 5.0;
+    grid.setUnitPower(power);
+    for (int i = 0; i < 50; ++i)
+        grid.step(80e-6);
+    const Point alu_center = fp.unit(alu).rect.center();
+    const Point far_corner{fp.dieWidth() * 0.95,
+                           fp.dieHeight() * 0.95};
+    EXPECT_GT(grid.temperatureAt(alu_center), kAmbient + 5.0);
+    EXPECT_GT(grid.temperatureAt(alu_center),
+              grid.temperatureAt(far_corner) + 5.0);
+}
+
+TEST(ThermalGrid, SteadyStateEnergyBalance)
+{
+    // At steady state, all injected power must flow to ambient through
+    // the sink: P = (T_sink - T_amb) / R_sink_ambient.
+    const Floorplan fp = buildSkylakeFloorplan();
+    ThermalParams params = smallGrid();
+    ThermalGrid grid(fp, params);
+    std::vector<Watts> power(fp.numUnits(), 0.0);
+    power[fp.findUnit(UnitKind::DCache, 0)] = 10.0;
+    grid.setUnitPower(power);
+    grid.solveSteadyState(1e-9);
+    const double flow = (grid.sinkTemp() - params.ambient) /
+        params.sinkAmbientResistance;
+    EXPECT_NEAR(flow, 10.0, 0.05);
+}
+
+TEST(ThermalGrid, TransientConvergesToSteadyState)
+{
+    const Floorplan fp = buildSkylakeFloorplan();
+    ThermalParams params = smallGrid();
+    // Tiny sink capacitance so the whole stack settles within the test.
+    params.sinkCapacitance = 0.05;
+    ThermalGrid steady(fp, params);
+    ThermalGrid transient(fp, params);
+
+    std::vector<Watts> power(fp.numUnits(), 0.0);
+    power[fp.findUnit(UnitKind::FPU, 0)] = 8.0;
+    steady.setUnitPower(power);
+    steady.solveSteadyState(1e-9);
+
+    transient.setUnitPower(power);
+    for (int i = 0; i < 4000; ++i)
+        transient.step(80e-6);
+
+    const auto &ts = steady.siliconTemps();
+    const auto &tt = transient.siliconTemps();
+    double max_err = 0.0;
+    for (size_t i = 0; i < ts.size(); ++i)
+        max_err = std::max(max_err, std::fabs(ts[i] - tt[i]));
+    EXPECT_LT(max_err, 0.5);
+}
+
+TEST(ThermalGrid, MorePowerMeansHigherSteadyTemp)
+{
+    const Floorplan fp = buildSkylakeFloorplan();
+    ThermalGrid grid(fp, smallGrid());
+    const int alu = fp.findUnit(UnitKind::IntALU, 0);
+    std::vector<Watts> power(fp.numUnits(), 0.0);
+
+    power[alu] = 2.0;
+    grid.setUnitPower(power);
+    grid.solveSteadyState();
+    const Celsius t2 = grid.maxSiliconTemp();
+
+    grid.reset(kAmbient);
+    power[alu] = 6.0;
+    grid.setUnitPower(power);
+    grid.solveSteadyState();
+    const Celsius t6 = grid.maxSiliconTemp();
+    EXPECT_GT(t6, t2 + 1.0);
+}
+
+TEST(ThermalGrid, LinearityOfSteadyState)
+{
+    // The network is linear: doubling power doubles the rise.
+    const Floorplan fp = buildSkylakeFloorplan();
+    ThermalParams params = smallGrid();
+    ThermalGrid grid(fp, params);
+    const int fpu = fp.findUnit(UnitKind::FPU, 0);
+    std::vector<Watts> power(fp.numUnits(), 0.0);
+
+    power[fpu] = 3.0;
+    grid.setUnitPower(power);
+    grid.solveSteadyState(1e-9);
+    const double rise1 = grid.maxSiliconTemp() - params.ambient;
+
+    grid.reset(params.ambient);
+    power[fpu] = 6.0;
+    grid.setUnitPower(power);
+    grid.solveSteadyState(1e-9);
+    const double rise2 = grid.maxSiliconTemp() - params.ambient;
+    EXPECT_NEAR(rise2 / rise1, 2.0, 0.01);
+}
+
+TEST(ThermalGrid, FastLocalTransient)
+{
+    // The advanced-hotspot property: a strong local source must raise
+    // its cell by several degrees within ~200 us (microsecond-scale
+    // hotspot formation).
+    const Floorplan fp = buildSkylakeFloorplan();
+    ThermalGrid grid(fp, ThermalParams{}); // default 64x64
+    std::vector<Watts> power(fp.numUnits(), 0.0);
+    const int alu = fp.findUnit(UnitKind::IntALU, 0);
+    power[alu] = 6.0;
+    grid.setUnitPower(power);
+    const Point site = fp.unit(alu).rect.center();
+    const Celsius before = grid.temperatureAt(site);
+    grid.step(160e-6);
+    EXPECT_GT(grid.temperatureAt(site), before + 3.0);
+}
+
+TEST(ThermalGrid, UnitTempsAreAreaWeightedAverages)
+{
+    const Floorplan fp = buildSkylakeFloorplan();
+    ThermalGrid grid(fp, smallGrid());
+    std::vector<Watts> power(fp.numUnits(), 0.0);
+    const int alu = fp.findUnit(UnitKind::IntALU, 0);
+    power[alu] = 5.0;
+    grid.setUnitPower(power);
+    for (int i = 0; i < 100; ++i)
+        grid.step(80e-6);
+    const auto unit_temps = grid.unitTemps();
+    // The heated unit must be the hottest unit.
+    for (size_t i = 0; i < unit_temps.size(); ++i)
+        EXPECT_LE(unit_temps[i], unit_temps[alu] + 1e-9);
+    // And its average is between ambient and the global max.
+    EXPECT_GT(unit_temps[alu], kAmbient);
+    EXPECT_LE(unit_temps[alu], grid.maxSiliconTemp());
+}
+
+TEST(ThermalGrid, CellGeometryRoundTrip)
+{
+    const Floorplan fp = buildSkylakeFloorplan();
+    ThermalGrid grid(fp, smallGrid());
+    for (int cell : {0, 5, 17, 255}) {
+        EXPECT_EQ(grid.cellAt(grid.cellCenter(cell)), cell);
+    }
+}
+
+TEST(ThermalGrid, ResetRestoresUniformState)
+{
+    const Floorplan fp = buildSkylakeFloorplan();
+    ThermalGrid grid(fp, smallGrid());
+    std::vector<Watts> power(fp.numUnits(), 1.0);
+    grid.setUnitPower(power);
+    for (int i = 0; i < 20; ++i)
+        grid.step(80e-6);
+    grid.reset(60.0);
+    for (Celsius t : grid.siliconTemps())
+        EXPECT_DOUBLE_EQ(t, 60.0);
+    EXPECT_DOUBLE_EQ(grid.sinkTemp(), 60.0);
+}
+
+TEST(ThermalGrid, TotalPowerReportsInjectedSum)
+{
+    const Floorplan fp = buildSkylakeFloorplan();
+    ThermalGrid grid(fp, smallGrid());
+    std::vector<Watts> power(fp.numUnits(), 0.5);
+    grid.setUnitPower(power);
+    EXPECT_NEAR(grid.totalPower(), 0.5 * fp.numUnits(), 1e-9);
+}
+
+class ThermalSubstepInvariance : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ThermalSubstepInvariance, ResultIndependentOfStepPartition)
+{
+    // Integrating 800 us as one call or as many smaller calls must give
+    // (nearly) the same state: substepping is internal and stable. Use
+    // a tight safety factor so both partitions run small substeps and
+    // the comparison probes bookkeeping, not integration order.
+    const Floorplan fp = buildSkylakeFloorplan();
+    ThermalParams params = smallGrid();
+    params.dtSafety = 0.1;
+    ThermalGrid a(fp, params);
+    ThermalGrid b(fp, params);
+    std::vector<Watts> power(fp.numUnits(), 0.0);
+    power[fp.findUnit(UnitKind::IntALU, 0)] = 5.0;
+    a.setUnitPower(power);
+    b.setUnitPower(power);
+
+    const double piece = GetParam();
+    a.step(800e-6);
+    for (double t = 0.0; t < 800e-6 - 1e-12; t += piece)
+        b.step(piece);
+
+    const auto &ta = a.siliconTemps();
+    const auto &tb = b.siliconTemps();
+    for (size_t i = 0; i < ta.size(); i += 7)
+        EXPECT_NEAR(ta[i], tb[i], 0.12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, ThermalSubstepInvariance,
+                         ::testing::Values(80e-6, 160e-6, 400e-6));

@@ -1,0 +1,171 @@
+/** @file Integration tests: training Boreas end-to-end (small scale). */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "boreas/trainer.hh"
+#include "control/boreas_controller.hh"
+#include "control/thermal_controller.hh"
+#include "boreas/analysis.hh"
+#include "ml/feature_schema.hh"
+#include "test_util.hh"
+#include "workload/spec2006.hh"
+
+using namespace boreas;
+using boreas::test::fastPipelineConfig;
+using boreas::test::tinyTrainerConfig;
+
+namespace
+{
+
+/** Train once per test binary; training is the expensive part. */
+struct TrainerFixture : public ::testing::Test
+{
+    static void
+    SetUpTestSuite()
+    {
+        pipeline = new SimulationPipeline(fastPipelineConfig());
+        const std::vector<const WorkloadSpec *> train_set{
+            &findWorkload("povray"), &findWorkload("gromacs"),
+            &findWorkload("sjeng"), &findWorkload("libquantum"),
+            &findWorkload("mcf"), &findWorkload("namd"),
+        };
+        trained = new TrainedBoreas(
+            trainBoreas(*pipeline, train_set, tinyTrainerConfig()));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete trained;
+        delete pipeline;
+        trained = nullptr;
+        pipeline = nullptr;
+    }
+
+    static SimulationPipeline *pipeline;
+    static TrainedBoreas *trained;
+};
+
+SimulationPipeline *TrainerFixture::pipeline = nullptr;
+TrainedBoreas *TrainerFixture::trained = nullptr;
+
+} // namespace
+
+TEST_F(TrainerFixture, ModelsAreTrained)
+{
+    EXPECT_TRUE(trained->model.trained());
+    EXPECT_TRUE(trained->fullModel.trained());
+    EXPECT_TRUE(trained->phaseModel.trained());
+    EXPECT_EQ(trained->fullModel.numFeatures(), kNumFullFeatures);
+    EXPECT_EQ(trained->model.numFeatures(),
+              deployedFeatureNames().size());
+}
+
+TEST_F(TrainerFixture, TrainMseIsAccurate)
+{
+    // The paper reports MSE ~0.0094; at test scale we accept anything
+    // clearly predictive.
+    EXPECT_LT(trained->model.mse(trained->trainData), 0.02);
+}
+
+TEST_F(TrainerFixture, TemperatureDominatesImportance)
+{
+    // Table IV: temperature_sensor_data carries by far the most gain.
+    const auto gains = trained->fullModel.featureImportance();
+    const double temp_gain = gains[kTempFeatureIndex];
+    for (size_t i = 0; i < gains.size(); ++i) {
+        if (i == kTempFeatureIndex)
+            continue;
+        EXPECT_GT(temp_gain, gains[i]) << fullFeatureSchema()[i];
+    }
+    EXPECT_GT(temp_gain, 0.3);
+}
+
+TEST_F(TrainerFixture, SelectTopFeaturesAscendingAndContainsTemp)
+{
+    const auto top = selectTopFeatures(trained->fullModel, 20);
+    ASSERT_EQ(top.size(), 20u);
+    // Ascending importance: the last entry must be the temperature.
+    EXPECT_EQ(top.back(), "temperature_sensor_data");
+    const auto gains = trained->fullModel.featureImportance();
+    const auto idx = featureIndicesOf(top);
+    for (size_t i = 1; i < idx.size(); ++i)
+        EXPECT_LE(gains[idx[i - 1]], gains[idx[i]]);
+}
+
+TEST_F(TrainerFixture, GeneralizesToUnseenWorkload)
+{
+    // Build an evaluation set from a *test* workload and check the
+    // deployed model predicts severity with useful accuracy.
+    DatasetConfig eval_cfg = tinyTrainerConfig().data;
+    const std::vector<const WorkloadSpec *> test_wl{
+        &findWorkload("gamess")};
+    const BuiltData eval = buildTrainingData(*pipeline, test_wl,
+                                             eval_cfg);
+    const double mse = evaluateMse(trained->model,
+                                   trained->featureNames,
+                                   eval.severity);
+    EXPECT_LT(mse, 0.05);
+}
+
+TEST_F(TrainerFixture, Ml05ControlsUnseenWorkloadEffectively)
+{
+    // At unit-test scale (coarse grid, reduced data) we assert the
+    // structural properties rather than the full-scale zero-incursion
+    // result (which bench/fig7_avg_frequency reproduces): the
+    // controller must find headroom above the static baseline while
+    // keeping overshoot bounded — it must not run away to the top of
+    // the VF range the way an uncontrolled run does.
+    BoreasController ml05("ML05", &trained->model,
+                          trained->featureNames, 0.05,
+                          kBestSensorIndex);
+    const RunResult run = pipeline->runWithController(
+        findWorkload("bzip2"), 5, ml05, kBaselineFrequency);
+    EXPECT_GE(run.averageFrequency(), kBaselineFrequency - 1e-9);
+    EXPECT_LT(run.peakSeverity(), 1.5);
+
+    // Reference: pinned at 5.0 GHz the same workload is deep in unsafe
+    // territory for much of the trace.
+    const RunResult wild = pipeline->runConstantFrequency(
+        findWorkload("bzip2"), 5, kMaxFrequency);
+    EXPECT_LT(run.peakSeverity(), wild.peakSeverity());
+    EXPECT_LT(run.incursionSteps(), wild.incursionSteps());
+}
+
+TEST_F(TrainerFixture, GuardbandTradesFrequencyForSafety)
+{
+    BoreasController ml00("ML00", &trained->model,
+                          trained->featureNames, 0.0,
+                          kBestSensorIndex);
+    BoreasController ml10("ML10", &trained->model,
+                          trained->featureNames, 0.10,
+                          kBestSensorIndex);
+    const RunResult run00 = pipeline->runWithController(
+        findWorkload("h264ref"), 5, ml00, kBaselineFrequency);
+    const RunResult run10 = pipeline->runWithController(
+        findWorkload("h264ref"), 5, ml10, kBaselineFrequency);
+    EXPECT_GE(run00.averageFrequency(),
+              run10.averageFrequency() - 1e-9);
+    // The conservative model stays clear of the line.
+    EXPECT_LT(run10.peakSeverity(), 1.0);
+}
+
+TEST_F(TrainerFixture, ThermalControllerFromStudyIsSafe)
+{
+    // Derive the TH-00 table from the training workloads, then run a
+    // test workload closed-loop.
+    const std::vector<const WorkloadSpec *> train_set{
+        &findWorkload("povray"), &findWorkload("gromacs"),
+        &findWorkload("sjeng"),
+    };
+    const CriticalTempStudy study = criticalTempStudy(
+        *pipeline, train_set, pipeline->vfTable().frequencies(),
+        kBestSensorIndex, 42, 75);
+    ThermalThresholdController th00("TH-00", study.globalTable(), 0.0,
+                                    kBestSensorIndex);
+    const RunResult run = pipeline->runWithController(
+        findWorkload("gamess"), 5, th00, kBaselineFrequency);
+    EXPECT_EQ(run.incursionSteps(), 0);
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared helpers for the Boreas test suite: a reduced-cost pipeline
+ * configuration (coarser thermal grid) and a tiny trainer configuration
+ * so integration tests run in seconds. Physics-calibration assertions
+ * (exact severity values) only hold at the default 64x64 grid and are
+ * confined to the tests that use defaults.
+ */
+
+#ifndef BOREAS_TESTS_TEST_UTIL_HH
+#define BOREAS_TESTS_TEST_UTIL_HH
+
+#include "boreas/pipeline.hh"
+#include "boreas/trainer.hh"
+
+namespace boreas::test
+{
+
+/** Pipeline config with a 32x32 grid: ~4x faster, same qualitative
+ *  behaviour. */
+inline PipelineConfig
+fastPipelineConfig()
+{
+    PipelineConfig cfg;
+    cfg.thermal.nx = 32;
+    cfg.thermal.ny = 32;
+    return cfg;
+}
+
+/** Trainer config small enough for unit tests (seconds, not minutes). */
+inline TrainerConfig
+tinyTrainerConfig()
+{
+    TrainerConfig cfg;
+    cfg.data.frequencies = {3.5, 3.75, 4.0, 4.25, 4.5, 4.75, 5.0};
+    cfg.data.walkSegments = 2;
+    cfg.data.traceSteps = 96;
+    cfg.gbt.nEstimators = 100;
+    return cfg;
+}
+
+} // namespace boreas::test
+
+#endif // BOREAS_TESTS_TEST_UTIL_HH

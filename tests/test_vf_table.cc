@@ -1,0 +1,74 @@
+/** @file Unit tests for the VF operating-point table (Table I). */
+
+#include <gtest/gtest.h>
+
+#include "power/vf_table.hh"
+
+using namespace boreas;
+
+TEST(VFTable, ThirteenGridPoints)
+{
+    VFTable vf;
+    EXPECT_EQ(vf.numPoints(), 13);
+    EXPECT_DOUBLE_EQ(vf.frequency(0), 2.0);
+    EXPECT_DOUBLE_EQ(vf.frequency(12), 5.0);
+}
+
+TEST(VFTable, AnchorsMatchTableI)
+{
+    VFTable vf;
+    const std::vector<std::pair<GHz, Volts>> expected = {
+        {2.0, 0.64}, {2.5, 0.71}, {3.0, 0.77}, {3.5, 0.87},
+        {4.0, 0.98}, {4.5, 1.15}, {5.0, 1.40},
+    };
+    EXPECT_EQ(VFTable::anchors(), expected);
+    for (const auto &[f, v] : expected)
+        EXPECT_DOUBLE_EQ(vf.voltage(f), v);
+}
+
+TEST(VFTable, InterpolatedVoltagesBetweenAnchors)
+{
+    VFTable vf;
+    EXPECT_NEAR(vf.voltage(2.25), 0.675, 1e-12);
+    EXPECT_NEAR(vf.voltage(3.75), 0.925, 1e-12);
+    EXPECT_NEAR(vf.voltage(4.75), 1.275, 1e-12);
+}
+
+TEST(VFTable, VoltageStrictlyIncreasing)
+{
+    VFTable vf;
+    for (int i = 1; i < vf.numPoints(); ++i)
+        EXPECT_GT(vf.voltage(vf.frequency(i)),
+                  vf.voltage(vf.frequency(i - 1)));
+}
+
+TEST(VFTable, IndexRoundTrips)
+{
+    VFTable vf;
+    for (int i = 0; i < vf.numPoints(); ++i)
+        EXPECT_EQ(vf.index(vf.frequency(i)), i);
+}
+
+TEST(VFTableDeathTest, OffGridFrequencyPanics)
+{
+    VFTable vf;
+    EXPECT_DEATH(vf.index(3.8), "not on the 250 MHz grid");
+}
+
+TEST(VFTable, ClampSnapsToGrid)
+{
+    VFTable vf;
+    EXPECT_DOUBLE_EQ(vf.clamp(1.0), 2.0);
+    EXPECT_DOUBLE_EQ(vf.clamp(9.9), 5.0);
+    EXPECT_DOUBLE_EQ(vf.clamp(3.8), 3.75);
+    EXPECT_DOUBLE_EQ(vf.clamp(4.25), 4.25);
+}
+
+TEST(VFTable, StepUpDownSaturate)
+{
+    VFTable vf;
+    EXPECT_DOUBLE_EQ(vf.stepUp(4.0), 4.25);
+    EXPECT_DOUBLE_EQ(vf.stepDown(4.0), 3.75);
+    EXPECT_DOUBLE_EQ(vf.stepUp(5.0), 5.0);
+    EXPECT_DOUBLE_EQ(vf.stepDown(2.0), 2.0);
+}

@@ -1,0 +1,189 @@
+/** @file Unit tests for workload models and the SPEC2006 suite. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "workload/spec2006.hh"
+#include "workload/workload.hh"
+
+using namespace boreas;
+
+TEST(Spec2006, SuiteHas27Workloads)
+{
+    EXPECT_EQ(spec2006Suite().size(), 27u);
+}
+
+TEST(Spec2006, TrainTestSplitMatchesTableIII)
+{
+    const auto train = trainWorkloads();
+    const auto test = testWorkloads();
+    EXPECT_EQ(train.size(), 20u);
+    EXPECT_EQ(test.size(), 7u);
+
+    const std::set<std::string> expected_test{
+        "cactusADM", "omnetpp", "GemsFDTD", "h264ref", "bzip2",
+        "hmmer", "gamess"};
+    std::set<std::string> actual_test;
+    for (const auto *w : test)
+        actual_test.insert(w->name);
+    EXPECT_EQ(actual_test, expected_test);
+
+    for (const auto *w : train)
+        EXPECT_EQ(expected_test.count(w->name), 0u) << w->name;
+}
+
+TEST(Spec2006, NamesAreUniqueAndSaltsDistinct)
+{
+    std::set<std::string> names;
+    std::set<uint64_t> salts;
+    for (const auto &w : spec2006Suite()) {
+        EXPECT_TRUE(names.insert(w.name).second) << w.name;
+        EXPECT_TRUE(salts.insert(w.seedSalt).second) << w.name;
+        EXPECT_FALSE(w.phases.empty()) << w.name;
+        EXPECT_GT(w.thermalScale, 0.0) << w.name;
+    }
+}
+
+TEST(Spec2006, EveryWorkloadHasDesignOracleOnGrid)
+{
+    for (const auto &w : spec2006Suite()) {
+        const GHz f = designOracleFrequency(w.name);
+        EXPECT_GE(f, kMinFrequency);
+        EXPECT_LT(f, kMaxFrequency); // nothing is safe at 5.0 (Fig. 2)
+        // On the 250 MHz grid.
+        const double steps = (f - kMinFrequency) / kFrequencyStep;
+        EXPECT_NEAR(steps, std::round(steps), 1e-9);
+    }
+}
+
+TEST(Spec2006, DesignOracleDistributionMatchesSec3)
+{
+    // Two workloads pinned at the 3.75 GHz global limit (Sec. III-C:
+    // "optimal performance for only 2 of the 27 workloads").
+    int at_limit = 0;
+    for (const auto &w : spec2006Suite())
+        if (designOracleFrequency(w.name) == kBaselineFrequency)
+            ++at_limit;
+    EXPECT_EQ(at_limit, 2);
+
+    // gromacs and cactusADM run at 4.75 GHz (Sec. III-D).
+    EXPECT_DOUBLE_EQ(designOracleFrequency("gromacs"), 4.75);
+    EXPECT_DOUBLE_EQ(designOracleFrequency("cactusADM"), 4.75);
+}
+
+TEST(Spec2006, FindWorkloadReturnsNamed)
+{
+    EXPECT_EQ(findWorkload("bzip2").name, "bzip2");
+    EXPECT_TRUE(findWorkload("bzip2").testSet);
+    EXPECT_FALSE(findWorkload("gromacs").testSet);
+}
+
+TEST(WorkloadRun, DeterministicForSameSeed)
+{
+    const WorkloadSpec &w = findWorkload("bzip2");
+    WorkloadRun a(w, 42), b(w, 42);
+    for (int i = 0; i < 200; ++i) {
+        EXPECT_EQ(a.phaseIndex(), b.phaseIndex());
+        a.advance(80e-6);
+        b.advance(80e-6);
+    }
+}
+
+TEST(WorkloadRun, DifferentSeedsDiverge)
+{
+    const WorkloadSpec &w = findWorkload("bzip2");
+    WorkloadRun a(w, 1), b(w, 2);
+    int diffs = 0;
+    for (int i = 0; i < 300; ++i) {
+        if (a.phaseIndex() != b.phaseIndex())
+            ++diffs;
+        a.advance(80e-6);
+        b.advance(80e-6);
+    }
+    EXPECT_GT(diffs, 0);
+}
+
+TEST(WorkloadRun, CyclicPatternVisitsAllPhases)
+{
+    const WorkloadSpec &w = findWorkload("gromacs"); // cyclic, 2 phases
+    WorkloadRun run(w, 7);
+    std::set<int> seen;
+    for (int i = 0; i < 400; ++i) {
+        seen.insert(run.phaseIndex());
+        run.advance(80e-6);
+    }
+    EXPECT_EQ(seen.size(), w.phases.size());
+}
+
+TEST(WorkloadRun, ThermalScaleFoldsIntoIntensity)
+{
+    WorkloadSpec w = findWorkload("bzip2");
+    w.thermalScale = 2.0;
+    WorkloadRun run(w, 1);
+    const double base = w.phases[run.phaseIndex()].params.intensity;
+    EXPECT_DOUBLE_EQ(run.currentPhase().intensity, base * 2.0);
+}
+
+TEST(WorkloadRun, SingleSteadyPhaseNeverSwitches)
+{
+    const WorkloadSpec &w = findWorkload("hmmer"); // one phase
+    WorkloadRun run(w, 3);
+    for (int i = 0; i < 500; ++i) {
+        EXPECT_EQ(run.phaseIndex(), 0);
+        run.advance(80e-6);
+    }
+}
+
+TEST(WorkloadRun, BurstyWorkloadSwitchesFast)
+{
+    // gromacs bursts are sub-millisecond: expect several phase changes
+    // within a 12 ms trace.
+    const WorkloadSpec &w = findWorkload("gromacs");
+    WorkloadRun run(w, 11);
+    int switches = 0;
+    int prev = run.phaseIndex();
+    for (int i = 0; i < 150; ++i) {
+        run.advance(80e-6);
+        if (run.phaseIndex() != prev) {
+            ++switches;
+            prev = run.phaseIndex();
+        }
+    }
+    EXPECT_GE(switches, 8);
+}
+
+TEST(WorkloadRun, LargeAdvanceCrossesMultiplePhases)
+{
+    // One advance() spanning several dwell times must land in a valid
+    // phase (the dwell loop has to drain fully, not once).
+    const WorkloadSpec &w = findWorkload("gromacs"); // sub-ms phases
+    WorkloadRun run(w, 9);
+    run.advance(50e-3); // 50 ms >> any dwell
+    EXPECT_GE(run.phaseIndex(), 0);
+    EXPECT_LT(run.phaseIndex(),
+              static_cast<int>(w.phases.size()));
+    // And it keeps working afterwards.
+    for (int i = 0; i < 50; ++i)
+        run.advance(80e-6);
+}
+
+TEST(WorkloadRun, RandomPatternNeverRepeatsPhaseBackToBack)
+{
+    const WorkloadSpec &w = findWorkload("mcf"); // Random, 2 phases
+    ASSERT_EQ(w.pattern, PhasePattern::Random);
+    WorkloadRun run(w, 13);
+    int prev = run.phaseIndex();
+    int switches = 0;
+    for (int i = 0; i < 2000; ++i) {
+        run.advance(80e-6);
+        if (run.phaseIndex() != prev) {
+            ++switches;
+            prev = run.phaseIndex();
+        }
+    }
+    // With 2 phases and no-repeat switching, every dwell expiry is a
+    // switch; over 160 ms of sub-3ms dwells we must see many.
+    EXPECT_GT(switches, 30);
+}

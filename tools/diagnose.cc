@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Developer diagnostics for the trained severity model: feature
+ * importance, held-out MSE, and predicted-vs-actual traces on selected
+ * test workloads. Not part of the paper reproduction.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "boreas/dataset_builder.hh"
+#include "boreas/trainer.hh"
+#include "ml/feature_schema.hh"
+#include "workload/spec2006.hh"
+
+using namespace boreas;
+
+int
+main()
+{
+    SimulationPipeline pipeline;
+
+    TrainerConfig tcfg;
+    tcfg.data.walkSegments = 4;
+    tcfg.data.baseSeed = 2023;
+    std::fprintf(stderr, "training...\n");
+    const TrainedBoreas trained =
+        trainBoreas(pipeline, trainWorkloads(), tcfg);
+    std::printf("train rows: %zu\n", trained.trainData.numRows());
+    std::printf("train MSE (deployed): %.5f\n",
+                trained.model.mse(trained.trainData));
+    std::printf("train MSE (full78):   %.5f\n",
+                trained.fullModel.mse(trained.fullTrainData));
+
+    // Importance of the full model, top 12.
+    const auto gains = trained.fullModel.featureImportance();
+    std::vector<size_t> order(gains.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return gains[a] > gains[b]; });
+    std::printf("\nfull-model importance (top 12):\n");
+    for (size_t i = 0; i < 12; ++i)
+        std::printf("  %-32s %.4f\n",
+                    fullFeatureSchema()[order[i]].c_str(),
+                    gains[order[i]]);
+
+    // Deployed model importance.
+    const auto dgains = trained.model.featureImportance();
+    std::vector<size_t> dorder(dgains.size());
+    std::iota(dorder.begin(), dorder.end(), 0);
+    std::sort(dorder.begin(), dorder.end(),
+              [&](size_t a, size_t b) { return dgains[a] > dgains[b]; });
+    std::printf("\ndeployed-model importance (top 8):\n");
+    for (size_t i = 0; i < 8; ++i)
+        std::printf("  %-32s %.4f\n",
+                    trained.featureNames[dorder[i]].c_str(),
+                    dgains[dorder[i]]);
+
+    // Held-out evaluation.
+    DatasetConfig eval_cfg = tcfg.data;
+    eval_cfg.intensityAugments = {1.0};
+    eval_cfg.walkSegments = 2;
+    const BuiltData eval =
+        buildTrainingData(pipeline, testWorkloads(), eval_cfg);
+    std::printf("\ntest rows: %zu\n", eval.severity.numRows());
+    std::printf("test MSE (deployed): %.5f\n",
+                evaluateMse(trained.model, trained.featureNames,
+                            eval.severity));
+
+    // Per-test-workload MSE.
+    for (const WorkloadSpec *w : testWorkloads()) {
+        const Dataset sub = eval.severity.selectGroups(
+            {static_cast<int>(w->seedSalt)});
+        if (sub.numRows() == 0)
+            continue;
+        std::printf("  %-10s MSE %.5f\n", w->name.c_str(),
+                    evaluateMse(trained.model, trained.featureNames,
+                                sub));
+    }
+
+    // Predicted vs actual on gamess @ 4.5 GHz.
+    const Dataset view = eval.severity.selectFeatures(
+        featureIndicesOf(trained.featureNames));
+    std::printf("\ngamess predicted vs actual (sampled):\n");
+    int shown = 0;
+    for (size_t r = 0; r < view.numRows() && shown < 15; ++r) {
+        if (view.group(r) !=
+            static_cast<int>(findWorkload("gamess").seedSalt))
+            continue;
+        const double freq =
+            eval.severity.x(r, kFreqFeatureIndex);
+        if (freq != 4.5 || (r % 17) != 0)
+            continue;
+        std::printf("  temp=%6.2f freq=%.2f pred=%.3f actual=%.3f\n",
+                    eval.severity.x(r, kTempFeatureIndex), freq,
+                    trained.model.predict(view.row(r)), view.y(r));
+        ++shown;
+    }
+    return 0;
+}

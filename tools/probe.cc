@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Developer diagnostics: run selected workloads across the VF grid and
+ * print power/temperature/severity magnitudes. Used to sanity-check the
+ * power and thermal calibration; not part of the paper reproduction.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "boreas/pipeline.hh"
+#include "workload/spec2006.hh"
+
+using namespace boreas;
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> names = {"povray", "hmmer", "gamess",
+                                      "gromacs", "libquantum", "mcf",
+                                      "cactusADM", "bzip2"};
+    if (argc > 1) {
+        names.clear();
+        for (int i = 1; i < argc; ++i)
+            names.push_back(argv[i]);
+    }
+
+    SimulationPipeline pipeline;
+    const std::vector<GHz> freqs = {2.0, 3.0, 3.75, 4.0, 4.25, 4.5,
+                                    4.75, 5.0};
+
+    std::printf("%-12s %6s %8s %8s %8s %8s %8s %8s\n", "workload",
+                "GHz", "power", "maxT", "maxMLTD", "peakSev", "Tsens3",
+                "design");
+    for (const auto &name : names) {
+        const WorkloadSpec &w = findWorkload(name);
+        for (GHz f : freqs) {
+            const RunResult run =
+                pipeline.runConstantFrequency(w, 42, f);
+            double avg_power = 0.0, peak_sev = 0.0;
+            Celsius max_t = 0.0, max_mltd = 0.0, last_sens = 0.0;
+            for (const auto &s : run.steps) {
+                avg_power += s.totalPower;
+                peak_sev = std::max(peak_sev, s.severity.maxSeverity);
+                max_t = std::max(max_t, s.severity.maxTemp);
+                max_mltd = std::max(max_mltd, s.severity.maxMltd);
+            }
+            avg_power /= run.steps.size();
+            last_sens = run.steps.back().sensorReadings[3];
+            std::printf("%-12s %6.2f %8.2f %8.2f %8.2f %8.3f %8.2f %8.2f\n",
+                        name.c_str(), f, avg_power, max_t, max_mltd,
+                        peak_sev, last_sens,
+                        designOracleFrequency(name));
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Developer diagnostics: peak-severity seed sensitivity of selected
+ * workloads near their safe/unsafe boundary. Used to validate that the
+ * calibration's multi-seed max statistic keeps each workload's oracle
+ * frequency stable across trace realizations.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "boreas/pipeline.hh"
+#include "workload/spec2006.hh"
+
+using namespace boreas;
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> names = {"mcf", "omnetpp", "h264ref",
+                                      "soplex", "gromacs"};
+    if (argc > 1) {
+        names.clear();
+        for (int i = 1; i < argc; ++i)
+            names.push_back(argv[i]);
+    }
+
+    SimulationPipeline pipeline;
+    for (const auto &name : names) {
+        const WorkloadSpec &w = findWorkload(name);
+        const GHz oracle = designOracleFrequency(name);
+        for (GHz f : {oracle, pipeline.vfTable().stepUp(oracle)}) {
+            std::printf("%-10s f=%.2f :", name.c_str(), f);
+            for (uint64_t seed : {42ULL, 142ULL, 2023ULL + w.seedSalt,
+                                  7ULL}) {
+                const RunResult r =
+                    pipeline.runConstantFrequency(w, seed, f);
+                std::printf("  %.3f", r.peakSeverity());
+            }
+            std::printf("%s\n", f == oracle ? "  (design-safe)"
+                                            : "  (design-unsafe)");
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Developer diagnostics: closed-loop ML05 run on one workload with
+ * per-decision predicted-vs-actual severity. Finds where the controller
+ * is being misled.
+ */
+
+#include <cstdio>
+
+#include "boreas/trainer.hh"
+#include "control/boreas_controller.hh"
+#include "workload/spec2006.hh"
+
+using namespace boreas;
+
+int
+main(int argc, char **argv)
+{
+    const char *name = argc > 1 ? argv[1] : "omnetpp";
+
+    SimulationPipeline pipeline;
+    TrainerConfig tcfg;
+    tcfg.data.walkSegments = 8;
+    tcfg.data.baseSeed = 2023;
+    std::fprintf(stderr, "training...\n");
+    const TrainedBoreas trained =
+        trainBoreas(pipeline, trainWorkloads(), tcfg);
+
+    BoreasController ml05("ML05", &trained.model, trained.featureNames,
+                          0.05, kBestSensorIndex);
+
+    const WorkloadSpec &w = findWorkload(name);
+    pipeline.start(w, 2023);
+    ml05.reset();
+
+    GHz freq = kBaselineFrequency;
+    std::vector<StepRecord> steps;
+    std::printf("dec  freq->next  predCur predUp  window_actual  "
+                "tsens3\n");
+    double window_max = 0.0;
+    for (int s = 0; s < kTraceSteps; ++s) {
+        steps.push_back(pipeline.step(freq));
+        window_max = std::max(window_max,
+                              steps.back().severity.maxSeverity);
+        if ((s + 1) % kStepsPerDecision == 0 && s + 1 < kTraceSteps) {
+            DecisionContext ctx;
+            ctx.currentFreq = freq;
+            ctx.counters = &steps.back().counters;
+            ctx.sensorReadings = steps.back().sensorReadings;
+            ctx.vf = &pipeline.vfTable();
+            const double pred_cur =
+                ml05.predictSeverity(ctx, freq);
+            const double pred_up = ml05.predictSeverity(
+                ctx, pipeline.vfTable().stepUp(freq));
+            const GHz next = ml05.decide(ctx);
+            std::printf("%3d  %.2f->%.2f  %7.3f %7.3f  (last win max "
+                        "%.3f)  %6.2f\n",
+                        (s + 1) / 12, freq, next, pred_cur, pred_up,
+                        window_max,
+                        ctx.sensorReadings[kBestSensorIndex]);
+            freq = next;
+            window_max = 0.0;
+        }
+    }
+    return 0;
+}
