@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_cochran_reda.dir/baseline_cochran_reda.cc.o"
+  "CMakeFiles/baseline_cochran_reda.dir/baseline_cochran_reda.cc.o.d"
+  "baseline_cochran_reda"
+  "baseline_cochran_reda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_cochran_reda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

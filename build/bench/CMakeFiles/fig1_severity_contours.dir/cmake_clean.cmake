@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_severity_contours.dir/fig1_severity_contours.cc.o"
+  "CMakeFiles/fig1_severity_contours.dir/fig1_severity_contours.cc.o.d"
+  "fig1_severity_contours"
+  "fig1_severity_contours.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_severity_contours.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_thermal_guardbands.dir/fig4_thermal_guardbands.cc.o"
+  "CMakeFiles/fig4_thermal_guardbands.dir/fig4_thermal_guardbands.cc.o.d"
+  "fig4_thermal_guardbands"
+  "fig4_thermal_guardbands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_thermal_guardbands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_sensor_placement.dir/fig5_sensor_placement.cc.o"
+  "CMakeFiles/fig5_sensor_placement.dir/fig5_sensor_placement.cc.o.d"
+  "fig5_sensor_placement"
+  "fig5_sensor_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sensor_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_ml_guardbands.dir/fig6_ml_guardbands.cc.o"
+  "CMakeFiles/fig6_ml_guardbands.dir/fig6_ml_guardbands.cc.o.d"
+  "fig6_ml_guardbands"
+  "fig6_ml_guardbands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_ml_guardbands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_avg_frequency.dir/fig7_avg_frequency.cc.o"
+  "CMakeFiles/fig7_avg_frequency.dir/fig7_avg_frequency.cc.o.d"
+  "fig7_avg_frequency"
+  "fig7_avg_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_avg_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_dynamic_runs.dir/fig8_dynamic_runs.cc.o"
+  "CMakeFiles/fig8_dynamic_runs.dir/fig8_dynamic_runs.cc.o.d"
+  "fig8_dynamic_runs"
+  "fig8_dynamic_runs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_dynamic_runs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_model_size_mse.dir/fig9_model_size_mse.cc.o"
+  "CMakeFiles/fig9_model_size_mse.dir/fig9_model_size_mse.cc.o.d"
+  "fig9_model_size_mse"
+  "fig9_model_size_mse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_model_size_mse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_characterization.dir/hotspot_characterization.cc.o"
+  "CMakeFiles/hotspot_characterization.dir/hotspot_characterization.cc.o.d"
+  "hotspot_characterization"
+  "hotspot_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec3_critical_temps.dir/sec3_critical_temps.cc.o"
+  "CMakeFiles/sec3_critical_temps.dir/sec3_critical_temps.cc.o.d"
+  "sec3_critical_temps"
+  "sec3_critical_temps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec3_critical_temps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

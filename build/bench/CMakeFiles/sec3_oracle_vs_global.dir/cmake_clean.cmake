@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec3_oracle_vs_global.dir/sec3_oracle_vs_global.cc.o"
+  "CMakeFiles/sec3_oracle_vs_global.dir/sec3_oracle_vs_global.cc.o.d"
+  "sec3_oracle_vs_global"
+  "sec3_oracle_vs_global.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec3_oracle_vs_global.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_vf_pairs.dir/table1_vf_pairs.cc.o"
+  "CMakeFiles/table1_vf_pairs.dir/table1_vf_pairs.cc.o.d"
+  "table1_vf_pairs"
+  "table1_vf_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_vf_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

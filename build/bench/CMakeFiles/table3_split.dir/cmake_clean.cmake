@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_split.dir/table3_split.cc.o"
+  "CMakeFiles/table3_split.dir/table3_split.cc.o.d"
+  "table3_split"
+  "table3_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitigation_comparison.dir/mitigation_comparison.cpp.o"
+  "CMakeFiles/mitigation_comparison.dir/mitigation_comparison.cpp.o.d"
+  "mitigation_comparison"
+  "mitigation_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitigation_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

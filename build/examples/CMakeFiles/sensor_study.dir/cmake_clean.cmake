@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_study.dir/sensor_study.cpp.o"
+  "CMakeFiles/sensor_study.dir/sensor_study.cpp.o.d"
+  "sensor_study"
+  "sensor_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boreas_arch.dir/core_model.cc.o"
+  "CMakeFiles/boreas_arch.dir/core_model.cc.o.d"
+  "CMakeFiles/boreas_arch.dir/counters.cc.o"
+  "CMakeFiles/boreas_arch.dir/counters.cc.o.d"
+  "libboreas_arch.a"
+  "libboreas_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boreas_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libboreas_arch.a"
+)

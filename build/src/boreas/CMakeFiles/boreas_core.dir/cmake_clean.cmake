@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boreas_core.dir/analysis.cc.o"
+  "CMakeFiles/boreas_core.dir/analysis.cc.o.d"
+  "CMakeFiles/boreas_core.dir/dataset_builder.cc.o"
+  "CMakeFiles/boreas_core.dir/dataset_builder.cc.o.d"
+  "CMakeFiles/boreas_core.dir/pipeline.cc.o"
+  "CMakeFiles/boreas_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/boreas_core.dir/trainer.cc.o"
+  "CMakeFiles/boreas_core.dir/trainer.cc.o.d"
+  "libboreas_core.a"
+  "libboreas_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boreas_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boreas_common.dir/logging.cc.o"
+  "CMakeFiles/boreas_common.dir/logging.cc.o.d"
+  "CMakeFiles/boreas_common.dir/matrix.cc.o"
+  "CMakeFiles/boreas_common.dir/matrix.cc.o.d"
+  "CMakeFiles/boreas_common.dir/rng.cc.o"
+  "CMakeFiles/boreas_common.dir/rng.cc.o.d"
+  "CMakeFiles/boreas_common.dir/stats.cc.o"
+  "CMakeFiles/boreas_common.dir/stats.cc.o.d"
+  "CMakeFiles/boreas_common.dir/table.cc.o"
+  "CMakeFiles/boreas_common.dir/table.cc.o.d"
+  "libboreas_common.a"
+  "libboreas_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boreas_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/boreas_controller.cc" "src/control/CMakeFiles/boreas_control.dir/boreas_controller.cc.o" "gcc" "src/control/CMakeFiles/boreas_control.dir/boreas_controller.cc.o.d"
+  "/root/repo/src/control/phase_thermal.cc" "src/control/CMakeFiles/boreas_control.dir/phase_thermal.cc.o" "gcc" "src/control/CMakeFiles/boreas_control.dir/phase_thermal.cc.o.d"
+  "/root/repo/src/control/thermal_controller.cc" "src/control/CMakeFiles/boreas_control.dir/thermal_controller.cc.o" "gcc" "src/control/CMakeFiles/boreas_control.dir/thermal_controller.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/boreas_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/boreas_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/boreas_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/boreas_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/floorplan/CMakeFiles/boreas_floorplan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

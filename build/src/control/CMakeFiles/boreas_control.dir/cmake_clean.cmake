@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boreas_control.dir/boreas_controller.cc.o"
+  "CMakeFiles/boreas_control.dir/boreas_controller.cc.o.d"
+  "CMakeFiles/boreas_control.dir/phase_thermal.cc.o"
+  "CMakeFiles/boreas_control.dir/phase_thermal.cc.o.d"
+  "CMakeFiles/boreas_control.dir/thermal_controller.cc.o"
+  "CMakeFiles/boreas_control.dir/thermal_controller.cc.o.d"
+  "libboreas_control.a"
+  "libboreas_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boreas_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

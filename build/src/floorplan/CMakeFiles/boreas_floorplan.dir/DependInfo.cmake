@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/floorplan/floorplan.cc" "src/floorplan/CMakeFiles/boreas_floorplan.dir/floorplan.cc.o" "gcc" "src/floorplan/CMakeFiles/boreas_floorplan.dir/floorplan.cc.o.d"
+  "/root/repo/src/floorplan/geometry.cc" "src/floorplan/CMakeFiles/boreas_floorplan.dir/geometry.cc.o" "gcc" "src/floorplan/CMakeFiles/boreas_floorplan.dir/geometry.cc.o.d"
+  "/root/repo/src/floorplan/skylake.cc" "src/floorplan/CMakeFiles/boreas_floorplan.dir/skylake.cc.o" "gcc" "src/floorplan/CMakeFiles/boreas_floorplan.dir/skylake.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/boreas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boreas_floorplan.dir/floorplan.cc.o"
+  "CMakeFiles/boreas_floorplan.dir/floorplan.cc.o.d"
+  "CMakeFiles/boreas_floorplan.dir/geometry.cc.o"
+  "CMakeFiles/boreas_floorplan.dir/geometry.cc.o.d"
+  "CMakeFiles/boreas_floorplan.dir/skylake.cc.o"
+  "CMakeFiles/boreas_floorplan.dir/skylake.cc.o.d"
+  "libboreas_floorplan.a"
+  "libboreas_floorplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boreas_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hotspot/events.cc" "src/hotspot/CMakeFiles/boreas_hotspot.dir/events.cc.o" "gcc" "src/hotspot/CMakeFiles/boreas_hotspot.dir/events.cc.o.d"
+  "/root/repo/src/hotspot/severity.cc" "src/hotspot/CMakeFiles/boreas_hotspot.dir/severity.cc.o" "gcc" "src/hotspot/CMakeFiles/boreas_hotspot.dir/severity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/boreas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

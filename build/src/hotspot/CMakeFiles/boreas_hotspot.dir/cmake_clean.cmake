@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boreas_hotspot.dir/events.cc.o"
+  "CMakeFiles/boreas_hotspot.dir/events.cc.o.d"
+  "CMakeFiles/boreas_hotspot.dir/severity.cc.o"
+  "CMakeFiles/boreas_hotspot.dir/severity.cc.o.d"
+  "libboreas_hotspot.a"
+  "libboreas_hotspot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boreas_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/cv.cc" "src/ml/CMakeFiles/boreas_ml.dir/cv.cc.o" "gcc" "src/ml/CMakeFiles/boreas_ml.dir/cv.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/boreas_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/boreas_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/feature_schema.cc" "src/ml/CMakeFiles/boreas_ml.dir/feature_schema.cc.o" "gcc" "src/ml/CMakeFiles/boreas_ml.dir/feature_schema.cc.o.d"
+  "/root/repo/src/ml/gbt.cc" "src/ml/CMakeFiles/boreas_ml.dir/gbt.cc.o" "gcc" "src/ml/CMakeFiles/boreas_ml.dir/gbt.cc.o.d"
+  "/root/repo/src/ml/kmeans.cc" "src/ml/CMakeFiles/boreas_ml.dir/kmeans.cc.o" "gcc" "src/ml/CMakeFiles/boreas_ml.dir/kmeans.cc.o.d"
+  "/root/repo/src/ml/linreg.cc" "src/ml/CMakeFiles/boreas_ml.dir/linreg.cc.o" "gcc" "src/ml/CMakeFiles/boreas_ml.dir/linreg.cc.o.d"
+  "/root/repo/src/ml/pca.cc" "src/ml/CMakeFiles/boreas_ml.dir/pca.cc.o" "gcc" "src/ml/CMakeFiles/boreas_ml.dir/pca.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/boreas_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/boreas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boreas_ml.dir/cv.cc.o"
+  "CMakeFiles/boreas_ml.dir/cv.cc.o.d"
+  "CMakeFiles/boreas_ml.dir/dataset.cc.o"
+  "CMakeFiles/boreas_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/boreas_ml.dir/feature_schema.cc.o"
+  "CMakeFiles/boreas_ml.dir/feature_schema.cc.o.d"
+  "CMakeFiles/boreas_ml.dir/gbt.cc.o"
+  "CMakeFiles/boreas_ml.dir/gbt.cc.o.d"
+  "CMakeFiles/boreas_ml.dir/kmeans.cc.o"
+  "CMakeFiles/boreas_ml.dir/kmeans.cc.o.d"
+  "CMakeFiles/boreas_ml.dir/linreg.cc.o"
+  "CMakeFiles/boreas_ml.dir/linreg.cc.o.d"
+  "CMakeFiles/boreas_ml.dir/pca.cc.o"
+  "CMakeFiles/boreas_ml.dir/pca.cc.o.d"
+  "libboreas_ml.a"
+  "libboreas_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boreas_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

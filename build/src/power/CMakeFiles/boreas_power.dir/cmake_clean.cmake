@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boreas_power.dir/power_model.cc.o"
+  "CMakeFiles/boreas_power.dir/power_model.cc.o.d"
+  "CMakeFiles/boreas_power.dir/vf_table.cc.o"
+  "CMakeFiles/boreas_power.dir/vf_table.cc.o.d"
+  "libboreas_power.a"
+  "libboreas_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boreas_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boreas_sensors.dir/placement.cc.o"
+  "CMakeFiles/boreas_sensors.dir/placement.cc.o.d"
+  "CMakeFiles/boreas_sensors.dir/sensor.cc.o"
+  "CMakeFiles/boreas_sensors.dir/sensor.cc.o.d"
+  "libboreas_sensors.a"
+  "libboreas_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boreas_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boreas_thermal.dir/thermal_grid.cc.o"
+  "CMakeFiles/boreas_thermal.dir/thermal_grid.cc.o.d"
+  "libboreas_thermal.a"
+  "libboreas_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boreas_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/spec2006.cc" "src/workload/CMakeFiles/boreas_workload.dir/spec2006.cc.o" "gcc" "src/workload/CMakeFiles/boreas_workload.dir/spec2006.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/workload/CMakeFiles/boreas_workload.dir/workload.cc.o" "gcc" "src/workload/CMakeFiles/boreas_workload.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/boreas_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/boreas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

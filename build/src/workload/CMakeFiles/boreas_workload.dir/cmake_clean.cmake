@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boreas_workload.dir/spec2006.cc.o"
+  "CMakeFiles/boreas_workload.dir/spec2006.cc.o.d"
+  "CMakeFiles/boreas_workload.dir/workload.cc.o"
+  "CMakeFiles/boreas_workload.dir/workload.cc.o.d"
+  "libboreas_workload.a"
+  "libboreas_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boreas_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_matrix.cc" "tests/CMakeFiles/test_matrix.dir/test_matrix.cc.o" "gcc" "tests/CMakeFiles/test_matrix.dir/test_matrix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/boreas/CMakeFiles/boreas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/boreas_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/hotspot/CMakeFiles/boreas_hotspot.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/boreas_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/boreas_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/boreas_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/boreas_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/floorplan/CMakeFiles/boreas_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/boreas_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/boreas_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/boreas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

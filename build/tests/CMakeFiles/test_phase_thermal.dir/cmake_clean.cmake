@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phase_thermal.dir/test_phase_thermal.cc.o"
+  "CMakeFiles/test_phase_thermal.dir/test_phase_thermal.cc.o.d"
+  "test_phase_thermal"
+  "test_phase_thermal.pdb"
+  "test_phase_thermal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phase_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

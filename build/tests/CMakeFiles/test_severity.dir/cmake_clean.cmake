@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_severity.dir/test_severity.cc.o"
+  "CMakeFiles/test_severity.dir/test_severity.cc.o.d"
+  "test_severity"
+  "test_severity.pdb"
+  "test_severity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_severity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seedcheck.dir/seedcheck.cc.o"
+  "CMakeFiles/seedcheck.dir/seedcheck.cc.o.d"
+  "seedcheck"
+  "seedcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seedcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_controller.dir/trace_controller.cc.o"
+  "CMakeFiles/trace_controller.dir/trace_controller.cc.o.d"
+  "trace_controller"
+  "trace_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
