@@ -25,22 +25,35 @@ main()
     SimulationPipeline pipeline;
     const CriticalTempTable table = buildThTable(pipeline);
 
-    for (const char *name : {"gromacs", "gamess"}) {
-        const WorkloadSpec &w = findWorkload(name);
+    // Fan the 2 workloads x 3 relaxations out over the pool.
+    const std::vector<const char *> names{"gromacs", "gamess"};
+    const std::vector<Celsius> offsets{0.0, 5.0, 10.0};
+    std::vector<RunTask> tasks;
+    for (const char *name : names) {
+        for (Celsius offset : offsets) {
+            tasks.push_back(
+                {&findWorkload(name),
+                 [&table, offset] {
+                     return std::make_unique<ThermalThresholdController>(
+                         strfmt("TH-%02d", static_cast<int>(offset)),
+                         table, offset, kBestSensorIndex);
+                 },
+                 kBenchSeed, kBaselineFrequency});
+        }
+    }
+    const std::vector<RunResult> all = runAll(pipeline.config(), tasks);
+
+    for (size_t wi = 0; wi < names.size(); ++wi) {
+        const char *name = names[wi];
         std::printf("=== Fig. 4%s: %s ===\n",
                     std::string(name) == "gromacs" ? "a" : "b", name);
 
         TextTable series;
         series.setHeader({"ms", "TH-00 GHz", "TH-00 sev", "TH-05 GHz",
                           "TH-05 sev", "TH-10 GHz", "TH-10 sev"});
-        std::vector<RunResult> runs;
-        for (Celsius offset : {0.0, 5.0, 10.0}) {
-            ThermalThresholdController th(
-                strfmt("TH-%02d", static_cast<int>(offset)), table,
-                offset, kBestSensorIndex);
-            runs.push_back(pipeline.runWithController(
-                w, kBenchSeed, th, kBaselineFrequency));
-        }
+        const std::vector<RunResult> runs(
+            all.begin() + wi * offsets.size(),
+            all.begin() + (wi + 1) * offsets.size());
         for (int s = 0; s < kTraceSteps; s += 6) {
             std::vector<std::string> row{
                 TextTable::num(s * kTelemetryStep * 1e3, 2)};

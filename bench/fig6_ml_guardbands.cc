@@ -23,13 +23,15 @@ main()
     auto ctx = buildExperimentContext();
     const WorkloadSpec &w = findWorkload("bzip2");
 
-    std::vector<RunResult> runs;
+    // The three guardband runs are independent: run them on the pool.
     const double guardbands[] = {0.0, 0.05, 0.10};
+    std::vector<RunTask> tasks;
     for (double g : guardbands) {
-        auto ml = ctx->mlController(g);
-        runs.push_back(ctx->pipeline.runWithController(
-            w, kBenchSeed, *ml, kBaselineFrequency));
+        tasks.push_back({&w, [&ctx, g] { return ctx->mlController(g); },
+                         kBenchSeed, kBaselineFrequency});
     }
+    const std::vector<RunResult> runs =
+        runAll(ctx->pipeline.config(), tasks);
 
     std::printf("=== Fig. 6: bzip2 under ML00 / ML05 / ML10 ===\n");
     TextTable series;

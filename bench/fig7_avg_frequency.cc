@@ -28,16 +28,22 @@ main()
 {
     auto ctx = buildExperimentContext();
 
-    auto th00 = ctx->thController(0.0);
-    auto ml00 = ctx->mlController(0.0);
-    auto ml05 = ctx->mlController(0.05);
-    auto ml10 = ctx->mlController(0.10);
-    auto cr = ctx->crController();
-    FixedFrequencyController global("baseline-3.75", kBaselineFrequency);
-
-    std::vector<FrequencyController *> models{
-        &global, th00.get(), cr.get(), ml00.get(), ml05.get(),
-        ml10.get()};
+    // One factory per model: every (workload, model) run gets its own
+    // controller instance so the whole grid fans out over the pool.
+    std::vector<ControllerFactory> models{
+        [] {
+            return std::make_unique<FixedFrequencyController>(
+                "baseline-3.75", kBaselineFrequency);
+        },
+        [&ctx] { return ctx->thController(0.0); },
+        [&ctx] { return ctx->crController(); },
+        [&ctx] { return ctx->mlController(0.0); },
+        [&ctx] { return ctx->mlController(0.05); },
+        [&ctx] { return ctx->mlController(0.10); },
+    };
+    const std::vector<const WorkloadSpec *> workloads = testWorkloads();
+    const auto grid =
+        evaluateGrid(ctx->pipeline.config(), workloads, models);
 
     TextTable table;
     table.setHeader({"workload", "model", "avg GHz", "vs 3.75",
@@ -47,11 +53,9 @@ main()
     std::map<std::string, int> incursions_by_model;
     std::map<std::string, double> ml05_vs_th;
 
-    for (const WorkloadSpec *w : testWorkloads()) {
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
         double th_norm = 1.0, ml05_norm = 1.0;
-        for (FrequencyController *m : models) {
-            const EvalRow row =
-                evaluateController(ctx->pipeline, *w, *m);
+        for (const EvalRow &row : grid[wi]) {
             table.addRow({row.workload, row.controller,
                           TextTable::num(row.avgFreq, 3),
                           TextTable::num(row.normalized, 4),
@@ -64,7 +68,7 @@ main()
             if (row.controller == std::string("ML05"))
                 ml05_norm = row.normalized;
         }
-        ml05_vs_th[w->name] = ml05_norm / th_norm - 1.0;
+        ml05_vs_th[workloads[wi]->name] = ml05_norm / th_norm - 1.0;
     }
 
     std::printf("=== Fig. 7: per-workload normalized average frequency "

@@ -21,14 +21,26 @@ int
 main()
 {
     auto ctx = buildExperimentContext();
-    auto th00 = ctx->thController(0.0);
-    auto ml05 = ctx->mlController(0.05);
 
-    for (const WorkloadSpec *w : testWorkloads()) {
-        const RunResult th_run = ctx->pipeline.runWithController(
-            *w, kBenchSeed, *th00, kBaselineFrequency);
-        const RunResult ml_run = ctx->pipeline.runWithController(
-            *w, kBenchSeed, *ml05, kBaselineFrequency);
+    // All (workload, controller) runs are independent: execute the
+    // whole batch on the pool, then print in the fixed task order.
+    const std::vector<const WorkloadSpec *> workloads = testWorkloads();
+    std::vector<RunTask> tasks;
+    for (const WorkloadSpec *w : workloads) {
+        tasks.push_back(
+            {w, [&ctx] { return ctx->thController(0.0); }, kBenchSeed,
+             kBaselineFrequency});
+        tasks.push_back(
+            {w, [&ctx] { return ctx->mlController(0.05); }, kBenchSeed,
+             kBaselineFrequency});
+    }
+    const std::vector<RunResult> runs =
+        runAll(ctx->pipeline.config(), tasks);
+
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        const WorkloadSpec *w = workloads[wi];
+        const RunResult &th_run = runs[2 * wi];
+        const RunResult &ml_run = runs[2 * wi + 1];
 
         std::printf("=== Fig. 8: %s ===\n", w->name.c_str());
         TextTable series;

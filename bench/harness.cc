@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace boreas::bench
 {
@@ -121,6 +122,57 @@ evaluateController(SimulationPipeline &pipeline,
     row.peakSeverity = run.peakSeverity();
     row.incursions = run.incursionSteps();
     return row;
+}
+
+std::vector<RunResult>
+runAll(const PipelineConfig &config, const std::vector<RunTask> &tasks)
+{
+    std::vector<RunResult> results(tasks.size());
+    ThreadPool::global().parallelFor(
+        0, static_cast<int64_t>(tasks.size()), 1,
+        [&](int64_t lo, int64_t hi) {
+            SimulationPipeline local(config);
+            for (int64_t j = lo; j < hi; ++j) {
+                const RunTask &task = tasks[j];
+                const auto controller = task.makeController();
+                results[j] = local.runWithController(
+                    *task.workload, task.seed, *controller,
+                    task.initialFreq);
+            }
+        });
+    return results;
+}
+
+std::vector<std::vector<EvalRow>>
+evaluateGrid(const PipelineConfig &config,
+             const std::vector<const WorkloadSpec *> &workloads,
+             const std::vector<ControllerFactory> &controllers,
+             uint64_t seed)
+{
+    std::vector<RunTask> tasks;
+    tasks.reserve(workloads.size() * controllers.size());
+    for (const WorkloadSpec *w : workloads) {
+        for (const ControllerFactory &make : controllers)
+            tasks.push_back({w, make, seed, kBaselineFrequency});
+    }
+    const std::vector<RunResult> runs = runAll(config, tasks);
+
+    std::vector<std::vector<EvalRow>> grid(workloads.size());
+    size_t j = 0;
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        grid[wi].resize(controllers.size());
+        for (size_t ci = 0; ci < controllers.size(); ++ci, ++j) {
+            const RunResult &run = runs[j];
+            EvalRow &row = grid[wi][ci];
+            row.workload = workloads[wi]->name;
+            row.controller = controllers[ci]()->name();
+            row.avgFreq = run.averageFrequency();
+            row.normalized = row.avgFreq / kBaselineFrequency;
+            row.peakSeverity = run.peakSeverity();
+            row.incursions = run.incursionSteps();
+        }
+    }
+    return grid;
 }
 
 } // namespace boreas::bench

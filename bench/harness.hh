@@ -14,6 +14,7 @@
 #ifndef BOREAS_BENCH_HARNESS_HH
 #define BOREAS_BENCH_HARNESS_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -92,6 +93,42 @@ EvalRow evaluateController(SimulationPipeline &pipeline,
                            const WorkloadSpec &workload,
                            FrequencyController &controller,
                            uint64_t seed = kBenchSeed);
+
+/**
+ * Creates a fresh controller instance for one run. Invoked on pool
+ * workers, so the factory must be callable concurrently; the trained
+ * models it wires in are shared read-only.
+ */
+using ControllerFactory =
+    std::function<std::unique_ptr<FrequencyController>()>;
+
+/** One independent closed-loop run for the parallel fan-out. */
+struct RunTask
+{
+    const WorkloadSpec *workload = nullptr;
+    ControllerFactory makeController;
+    uint64_t seed = kBenchSeed;
+    GHz initialFreq = kBaselineFrequency;
+};
+
+/**
+ * Execute every task on the global pool — one private pipeline per
+ * chunk, one freshly-made controller per run — and return the results
+ * in task order (identical at any BOREAS_THREADS value).
+ */
+std::vector<RunResult> runAll(const PipelineConfig &config,
+                              const std::vector<RunTask> &tasks);
+
+/**
+ * Evaluate the full (workload x controller) grid in parallel.
+ * Result rows are indexed [workload][controller], matching the input
+ * vectors' order.
+ */
+std::vector<std::vector<EvalRow>>
+evaluateGrid(const PipelineConfig &config,
+             const std::vector<const WorkloadSpec *> &workloads,
+             const std::vector<ControllerFactory> &controllers,
+             uint64_t seed = kBenchSeed);
 
 } // namespace boreas::bench
 

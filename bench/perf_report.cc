@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Timing report for the parallel simulation engine: measures the serial
+ * hot loops (thermal step) and the thread-pool fan-outs (sweep runs,
+ * GBT training, dataset generation) at one thread vs. the host default,
+ * and writes the numbers to BENCH_parallel.json in the working
+ * directory.
+ *
+ * Thread counts come from ThreadPool::defaultThreads() (BOREAS_THREADS
+ * or the hardware concurrency); on a single-core host the "threaded"
+ * columns legitimately equal the serial ones. Registered under the
+ * `perf` ctest label so `ctest -L perf` smoke-runs it.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <vector>
+
+#include "boreas/dataset_builder.hh"
+#include "common/logging.hh"
+#include "boreas/pipeline.hh"
+#include "common/parallel.hh"
+#include "harness.hh"
+#include "ml/gbt.hh"
+#include "thermal/thermal_grid.hh"
+#include "workload/spec2006.hh"
+
+using namespace boreas;
+using namespace boreas::bench;
+using Clock = std::chrono::steady_clock;
+
+namespace
+{
+
+double
+seconds(Clock::time_point t0, Clock::time_point t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/** 32x32-grid pipeline so the report runs in seconds. */
+PipelineConfig
+reportConfig()
+{
+    PipelineConfig cfg;
+    cfg.thermal.nx = 32;
+    cfg.thermal.ny = 32;
+    return cfg;
+}
+
+/** Time one full pass of a small multi-run sweep on the global pool. */
+double
+timeSweep()
+{
+    const std::vector<const WorkloadSpec *> wls{
+        &findWorkload("bzip2"), &findWorkload("gamess"),
+        &findWorkload("povray"), &findWorkload("mcf")};
+    std::vector<RunTask> tasks;
+    for (const WorkloadSpec *w : wls) {
+        tasks.push_back({w,
+                         [] {
+                             return std::make_unique<
+                                 FixedFrequencyController>(
+                                 "fixed", kBaselineFrequency);
+                         },
+                         kBenchSeed, kBaselineFrequency});
+    }
+    const auto t0 = Clock::now();
+    const std::vector<RunResult> runs = runAll(reportConfig(), tasks);
+    const auto t1 = Clock::now();
+    boreas_assert(runs.size() == tasks.size(), "sweep dropped runs");
+    return seconds(t0, t1);
+}
+
+/** Time dataset generation (the Trainer's fan-out) on the global pool. */
+double
+timeDatasetBuild(BuiltData &out)
+{
+    DatasetConfig cfg;
+    cfg.frequencies = {3.75, 4.25, 4.75};
+    cfg.walkSegments = 1;
+    cfg.traceSteps = 96;
+    SimulationPipeline pipeline(reportConfig());
+    const std::vector<const WorkloadSpec *> wls{
+        &findWorkload("povray"), &findWorkload("gromacs"),
+        &findWorkload("mcf")};
+    const auto t0 = Clock::now();
+    out = buildTrainingData(pipeline, wls, cfg);
+    const auto t1 = Clock::now();
+    return seconds(t0, t1);
+}
+
+/** Time one GBT fit (feature-parallel histograms) on the global pool. */
+double
+timeTrain(const Dataset &data)
+{
+    GBTParams params;
+    params.nEstimators = 60;
+    GBTRegressor model;
+    const auto t0 = Clock::now();
+    model.train(data, params);
+    const auto t1 = Clock::now();
+    boreas_assert(model.trained(), "training produced no trees");
+    return seconds(t0, t1);
+}
+
+} // namespace
+
+int
+main()
+{
+    const int threads = ThreadPool::defaultThreads();
+
+    // --- Serial stencil throughput (unaffected by the pool). ---
+    const Floorplan fp = buildSkylakeFloorplan();
+    ThermalGrid grid(fp, ThermalParams{});
+    std::vector<Watts> power(fp.numUnits(), 0.5);
+    grid.setUnitPower(power);
+    constexpr int kWarmup = 20, kSteps = 200;
+    for (int i = 0; i < kWarmup; ++i)
+        grid.step(kTelemetryStep);
+    const auto s0 = Clock::now();
+    for (int i = 0; i < kSteps; ++i)
+        grid.step(kTelemetryStep);
+    const auto s1 = Clock::now();
+    const double step_us = seconds(s0, s1) / kSteps * 1e6;
+
+    // --- Pool fan-outs: serial (1 thread) vs. host default. ---
+    ThreadPool::resetGlobal(1);
+    const double sweep_serial = timeSweep();
+    BuiltData data_serial;
+    const double build_serial = timeDatasetBuild(data_serial);
+    const double train_serial = timeTrain(data_serial.severity);
+
+    ThreadPool::resetGlobal(threads);
+    const double sweep_par = timeSweep();
+    BuiltData data_par;
+    const double build_par = timeDatasetBuild(data_par);
+    const double train_par = timeTrain(data_par.severity);
+
+    const double sweep_speedup = sweep_serial / sweep_par;
+    const double build_speedup = build_serial / build_par;
+    const double train_speedup = train_serial / train_par;
+
+    std::printf("=== parallel engine timing report ===\n");
+    std::printf("threads (BOREAS_THREADS/default): %d\n", threads);
+    std::printf("thermal step (64x64, 80us):       %.1f us\n", step_us);
+    std::printf("sweep  4 runs:   %.3fs serial, %.3fs threaded (%.2fx)\n",
+                sweep_serial, sweep_par, sweep_speedup);
+    std::printf("dataset build:   %.3fs serial, %.3fs threaded (%.2fx)\n",
+                build_serial, build_par, build_speedup);
+    std::printf("gbt train (60):  %.3fs serial, %.3fs threaded (%.2fx)\n",
+                train_serial, train_par, train_speedup);
+
+    std::ofstream json("BENCH_parallel.json");
+    json << "{\n"
+         << "  \"threads\": " << threads << ",\n"
+         << "  \"thermal_step_us\": " << step_us << ",\n"
+         << "  \"sweep_serial_s\": " << sweep_serial << ",\n"
+         << "  \"sweep_threaded_s\": " << sweep_par << ",\n"
+         << "  \"sweep_speedup\": " << sweep_speedup << ",\n"
+         << "  \"dataset_serial_s\": " << build_serial << ",\n"
+         << "  \"dataset_threaded_s\": " << build_par << ",\n"
+         << "  \"dataset_speedup\": " << build_speedup << ",\n"
+         << "  \"train_serial_s\": " << train_serial << ",\n"
+         << "  \"train_threaded_s\": " << train_par << ",\n"
+         << "  \"train_speedup\": " << train_speedup << "\n"
+         << "}\n";
+    std::printf("\nwrote BENCH_parallel.json\n");
+    return 0;
+}

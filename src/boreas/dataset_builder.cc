@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "ml/feature_schema.hh"
 
 namespace boreas
@@ -54,6 +55,85 @@ emitPhaseSample(std::vector<PhaseThermalSample> &out,
     out.push_back(std::move(s));
 }
 
+/**
+ * One independent trace to simulate: either a constant-frequency run
+ * (schedule empty) or a random-walk run (schedule non-empty). Jobs are
+ * enumerated serially — in the exact order the former single-threaded
+ * loop emitted instances, with the walk RNG drawn in that same order —
+ * then executed on the pool and merged back in job order, so the built
+ * dataset is bit-identical for every BOREAS_THREADS value.
+ */
+struct TraceJob
+{
+    WorkloadSpec spec;
+    uint64_t seed = 0;
+    GHz warm = 0.0;
+    int group = 0;
+    GHz constFreq = 0.0;      ///< constant-frequency job when schedule empty
+    std::vector<GHz> schedule;
+};
+
+/** Output shard of one job. */
+struct JobResult
+{
+    Dataset severity;
+    std::vector<PhaseThermalSample> phaseSamples;
+};
+
+/** Run one job on the given (task-local) pipeline and emit its shard. */
+void
+runJob(SimulationPipeline &pipeline, const VFTable &vf,
+       const TraceJob &job, const DatasetConfig &config, JobResult &out)
+{
+    out.severity = Dataset(fullFeatureSchema());
+    const int last = config.traceSteps - config.horizonSteps;
+
+    if (job.schedule.empty()) {
+        const RunResult run = pipeline.runConstantFrequency(
+            job.spec, job.seed, job.constFreq, config.traceSteps,
+            job.warm);
+        for (int t = 0; t < last; ++t)
+            emitInstance(out.severity, run, t, config, job.constFreq,
+                         job.group);
+        for (int t = config.horizonSteps - 1; t < last;
+             t += config.horizonSteps)
+            emitPhaseSample(out.phaseSamples, run, t,
+                            config.horizonSteps, config.sensorIndex,
+                            vf.index(job.constFreq));
+        return;
+    }
+
+    const RunResult run = pipeline.runWithSchedule(
+        job.spec, job.seed, job.schedule, config.traceSteps, job.warm);
+
+    // Instances only where the label window [t+1, t+horizon] runs at a
+    // single frequency: t+1 on a decision boundary and every decision
+    // period the window touches unchanged.
+    const std::vector<GHz> &schedule = job.schedule;
+    auto decision_of = [&](int step) {
+        return std::min(static_cast<size_t>(step / kStepsPerDecision),
+                        schedule.size() - 1);
+    };
+    for (int t = kStepsPerDecision - 1; t < last;
+         t += kStepsPerDecision) {
+        const GHz wf = schedule[decision_of(t + 1)];
+        bool constant = true;
+        for (int k = t + 1; k <= t + config.horizonSteps;
+             k += kStepsPerDecision) {
+            if (schedule[decision_of(k)] != wf) {
+                constant = false;
+                break;
+            }
+        }
+        if (!constant ||
+            schedule[decision_of(t + config.horizonSteps)] != wf)
+            continue;
+        emitInstance(out.severity, run, t, config, wf, job.group);
+        emitPhaseSample(out.phaseSamples, run, t, config.horizonSteps,
+                        config.sensorIndex, vf.index(wf));
+    }
+}
+
 } // namespace
 
 BuiltData
@@ -69,15 +149,14 @@ buildTrainingData(SimulationPipeline &pipeline,
     if (freqs.empty())
         freqs = vf.frequencies();
 
-    BuiltData built;
-    built.severity = Dataset(fullFeatureSchema());
-
     Rng walk_rng(config.baseSeed ^ 0xdecaf000ULL);
 
     std::vector<double> augments = config.intensityAugments;
     if (augments.empty())
         augments.push_back(1.0);
 
+    // Phase 1 (serial): enumerate every trace job in emission order.
+    std::vector<TraceJob> jobs;
     for (const WorkloadSpec *base : workloads) {
         const int group = static_cast<int>(base->seedSalt);
 
@@ -87,94 +166,85 @@ buildTrainingData(SimulationPipeline &pipeline,
             aug.thermalScale *= augments[ai];
             for (GHz f : freqs) {
                 for (int seg = 0; seg < config.constSegments; ++seg) {
-                    const uint64_t seed = config.baseSeed +
+                    TraceJob job;
+                    job.spec = aug;
+                    job.group = group;
+                    job.constFreq = f;
+                    job.seed = config.baseSeed +
                         base->seedSalt * 1000 + vf.index(f) * 10 + seg +
                         ai * 31337;
                     // Diversify the initial thermal state: real traces
                     // are windows of much longer executions, so the
                     // die can be anywhere between cool and saturated
                     // when a window begins.
-                    const GHz warm = vf.frequency(
+                    job.warm = vf.frequency(
                         (vf.index(f) + static_cast<int>(ai) * 4 + seg) %
                         vf.numPoints());
-                    const RunResult run = pipeline.runConstantFrequency(
-                        aug, seed, f, config.traceSteps, warm);
-                    const int last =
-                        config.traceSteps - config.horizonSteps;
-                    for (int t = 0; t < last; ++t)
-                        emitInstance(built.severity, run, t, config, f,
-                                     group);
-                    // Phase samples at decision boundaries.
-                    for (int t = config.horizonSteps - 1; t < last;
-                         t += config.horizonSteps)
-                        emitPhaseSample(built.phaseSamples, run, t,
-                                        config.horizonSteps,
-                                        config.sensorIndex, vf.index(f));
+                    jobs.push_back(std::move(job));
                 }
             }
         }
 
         // Random-walk traces: +/- one VF step (or hold) per decision,
         // holding each point long enough that label windows with a
-        // single frequency exist.
+        // single frequency exist. The walk RNG is consumed here, in
+        // enumeration order, never on the pool.
         const int hold = std::max(
             1, (config.horizonSteps + kStepsPerDecision - 1) /
                    kStepsPerDecision);
         for (int seg = 0; seg < config.walkSegments; ++seg) {
-            WorkloadSpec aug = *base;
-            aug.thermalScale *= augments[seg % augments.size()];
+            TraceJob job;
+            job.spec = *base;
+            job.spec.thermalScale *= augments[seg % augments.size()];
+            job.group = group;
             const int decisions =
                 (config.traceSteps + kStepsPerDecision - 1) /
                 kStepsPerDecision;
-            std::vector<GHz> schedule;
             GHz f = vf.frequency(
                 walk_rng.uniformInt(0, vf.numPoints() - 1));
-            while (static_cast<int>(schedule.size()) < decisions) {
+            while (static_cast<int>(job.schedule.size()) < decisions) {
                 for (int h = 0; h < hold; ++h)
-                    schedule.push_back(f);
+                    job.schedule.push_back(f);
                 const int move = walk_rng.uniformInt(-1, 1);
                 if (move < 0)
                     f = vf.stepDown(f);
                 else if (move > 0)
                     f = vf.stepUp(f);
             }
-            schedule.resize(decisions);
-            const uint64_t seed = config.baseSeed +
-                base->seedSalt * 1000 + 777 + seg;
-            const GHz warm = vf.frequency(
+            job.schedule.resize(decisions);
+            job.seed = config.baseSeed + base->seedSalt * 1000 + 777 +
+                seg;
+            job.warm = vf.frequency(
                 walk_rng.uniformInt(0, vf.numPoints() - 1));
-            const RunResult run = pipeline.runWithSchedule(
-                aug, seed, schedule, config.traceSteps, warm);
-
-            // Instances only where the label window [t+1, t+horizon]
-            // runs at a single frequency: t+1 on a decision boundary
-            // and every decision period the window touches unchanged.
-            const int last = config.traceSteps - config.horizonSteps;
-            auto decision_of = [&](int step) {
-                return std::min(static_cast<size_t>(
-                                    step / kStepsPerDecision),
-                                schedule.size() - 1);
-            };
-            for (int t = kStepsPerDecision - 1; t < last;
-                 t += kStepsPerDecision) {
-                const GHz wf = schedule[decision_of(t + 1)];
-                bool constant = true;
-                for (int k = t + 1; k <= t + config.horizonSteps;
-                     k += kStepsPerDecision) {
-                    if (schedule[decision_of(k)] != wf) {
-                        constant = false;
-                        break;
-                    }
-                }
-                if (!constant ||
-                    schedule[decision_of(t + config.horizonSteps)] != wf)
-                    continue;
-                emitInstance(built.severity, run, t, config, wf, group);
-                emitPhaseSample(built.phaseSamples, run, t,
-                                config.horizonSteps, config.sensorIndex,
-                                vf.index(wf));
-            }
+            jobs.push_back(std::move(job));
         }
+    }
+
+    // Phase 2 (parallel): run the traces. Each chunk owns a private
+    // pipeline cloned from the caller's configuration, so scheduling
+    // order cannot perturb any run.
+    std::vector<JobResult> results(jobs.size());
+    ThreadPool &pool = ThreadPool::global();
+    const int64_t grain = std::max<int64_t>(
+        1, static_cast<int64_t>(jobs.size()) /
+            (static_cast<int64_t>(pool.numThreads()) * 4));
+    pool.parallelFor(
+        0, static_cast<int64_t>(jobs.size()), grain,
+        [&](int64_t lo, int64_t hi) {
+            SimulationPipeline local(pipeline.config());
+            for (int64_t j = lo; j < hi; ++j)
+                runJob(local, local.vfTable(), jobs[j], config,
+                       results[j]);
+        });
+
+    // Phase 3 (serial): merge shards in job order.
+    BuiltData built;
+    built.severity = Dataset(fullFeatureSchema());
+    for (const JobResult &r : results) {
+        built.severity.append(r.severity);
+        built.phaseSamples.insert(built.phaseSamples.end(),
+                                  r.phaseSamples.begin(),
+                                  r.phaseSamples.end());
     }
     return built;
 }

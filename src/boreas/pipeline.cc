@@ -133,7 +133,7 @@ SimulationPipeline::step(GHz freq)
     rec.counters = core_.step(phase, freq, config_.stepLength,
                               run_->rng());
 
-    const std::vector<Celsius> unit_temps = grid_.unitTemps();
+    const std::vector<Celsius> &unit_temps = grid_.unitTemps();
     const auto unit_power = power_.unitPower(
         rec.counters, config_.activeCore, residual, freq, volts,
         unit_temps, config_.stepLength);

@@ -25,6 +25,19 @@ Dataset::addRow(const std::vector<double> &features, double target,
     groups_.push_back(group);
 }
 
+void
+Dataset::append(const Dataset &other)
+{
+    boreas_assert(other.featureNames_ == featureNames_,
+                  "appending a dataset with a different schema");
+    features_.insert(features_.end(), other.features_.begin(),
+                     other.features_.end());
+    targets_.insert(targets_.end(), other.targets_.begin(),
+                    other.targets_.end());
+    groups_.insert(groups_.end(), other.groups_.begin(),
+                   other.groups_.end());
+}
+
 std::vector<int>
 Dataset::distinctGroups() const
 {

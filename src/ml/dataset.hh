@@ -37,6 +37,11 @@ class Dataset
     void addRow(const std::vector<double> &features, double target,
                 int group);
 
+    /** Append every row of another dataset (schemas must match). Used
+     *  to merge per-task shards of a parallel generation pass in
+     *  deterministic task order. */
+    void append(const Dataset &other);
+
     double x(size_t row, size_t feature) const
     {
         return features_[row * numFeatures() + feature];

@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 
 namespace boreas
@@ -66,32 +67,40 @@ binFeatures(const Dataset &data, int max_bins)
     b.cuts.resize(b.numFeatures);
     b.codes.assign(b.numRows * b.numFeatures, 0);
 
-    std::vector<double> col(b.numRows);
-    for (size_t f = 0; f < b.numFeatures; ++f) {
-        for (size_t r = 0; r < b.numRows; ++r)
-            col[r] = data.x(r, f);
-        std::vector<double> sorted = col;
-        std::sort(sorted.begin(), sorted.end());
+    // Features are independent: fan the binning out over feature
+    // chunks. The column/sorted scratch buffers live per chunk and are
+    // reused across that chunk's features instead of reallocated.
+    ThreadPool::global().parallelFor(
+        0, static_cast<int64_t>(b.numFeatures), 1,
+        [&](int64_t f_lo, int64_t f_hi) {
+            std::vector<double> col(b.numRows);
+            std::vector<double> sorted(b.numRows);
+            for (int64_t f = f_lo; f < f_hi; ++f) {
+                for (size_t r = 0; r < b.numRows; ++r)
+                    col[r] = data.x(r, f);
+                sorted.assign(col.begin(), col.end());
+                std::sort(sorted.begin(), sorted.end());
 
-        // Quantile cut candidates; deduplicated. The last bin is
-        // implicit (> last cut).
-        std::vector<double> cuts;
-        for (int q = 1; q < max_bins; ++q) {
-            const size_t idx = std::min(
-                b.numRows - 1, q * b.numRows / max_bins);
-            const double v = sorted[idx];
-            if (cuts.empty() || v > cuts.back())
-                cuts.push_back(v);
-        }
-        b.cuts[f] = cuts;
+                // Quantile cut candidates; deduplicated. The last bin
+                // is implicit (> last cut).
+                std::vector<double> cuts;
+                for (int q = 1; q < max_bins; ++q) {
+                    const size_t idx = std::min(
+                        b.numRows - 1, q * b.numRows / max_bins);
+                    const double v = sorted[idx];
+                    if (cuts.empty() || v > cuts.back())
+                        cuts.push_back(v);
+                }
 
-        for (size_t r = 0; r < b.numRows; ++r) {
-            const auto it = std::lower_bound(cuts.begin(), cuts.end(),
-                                             col[r]);
-            b.codes[r * b.numFeatures + f] =
-                static_cast<uint16_t>(it - cuts.begin());
-        }
-    }
+                for (size_t r = 0; r < b.numRows; ++r) {
+                    const auto it = std::lower_bound(
+                        cuts.begin(), cuts.end(), col[r]);
+                    b.codes[r * b.numFeatures + f] =
+                        static_cast<uint16_t>(it - cuts.begin());
+                }
+                b.cuts[f] = std::move(cuts);
+            }
+        });
     return b;
 }
 
@@ -129,6 +138,20 @@ GBTRegressor::train(const Dataset &data, const GBTParams &params)
     base_ = data.targetMean();
 
     const BinnedData binned = binFeatures(data, params.maxBins);
+
+    // Flat per-feature histogram layout, allocated once and reused for
+    // every node of every tree (the per-node vector-of-vectors was a
+    // dominant allocation cost at depth > 3).
+    const size_t nf = binned.numFeatures;
+    std::vector<size_t> bin_offset(nf + 1, 0);
+    for (size_t f = 0; f < nf; ++f)
+        bin_offset[f + 1] = bin_offset[f] + binned.cuts[f].size() + 1;
+    const size_t total_bins = bin_offset[nf];
+    std::vector<BinStats> hist(total_bins);
+
+    // Below this many (row, feature) visits a node's histogram/scan is
+    // cheaper serial than fanned out.
+    constexpr size_t kMinParallelWork = 1 << 14;
 
     std::vector<double> pred(n, base_);
     std::vector<double> grad(n, 0.0);
@@ -184,49 +207,88 @@ GBTRegressor::train(const Dataset &data, const GBTParams &params)
                 continue; // stays a leaf
             }
 
-            // Histograms per feature.
-            const size_t nf = binned.numFeatures;
-            std::vector<std::vector<BinStats>> hist(nf);
-            for (size_t f = 0; f < nf; ++f)
-                hist[f].assign(binned.cuts[f].size() + 1, BinStats{});
-            for (size_t k = task.begin; k < task.end; ++k) {
-                const int r = rows[k];
-                const double g = grad[r];
-                const uint16_t *codes =
-                    binned.codes.data() + static_cast<size_t>(r) * nf;
-                for (size_t f = 0; f < nf; ++f) {
-                    BinStats &bs = hist[f][codes[f]];
-                    bs.g += g;
-                    bs.h += 1.0;
+            // Histograms per feature, into the flat scratch buffer.
+            // Per (feature, bin) the accumulation order is always row
+            // order, so serial and fanned-out builds agree bitwise.
+            const size_t node_rows = task.end - task.begin;
+            const bool wide = node_rows * nf >= kMinParallelWork;
+            std::fill(hist.begin(), hist.end(), BinStats{});
+            auto build_hist = [&](int64_t f_lo, int64_t f_hi) {
+                for (size_t k = task.begin; k < task.end; ++k) {
+                    const int r = rows[k];
+                    const double g = grad[r];
+                    const uint16_t *codes = binned.codes.data() +
+                        static_cast<size_t>(r) * nf;
+                    for (int64_t f = f_lo; f < f_hi; ++f) {
+                        BinStats &bs =
+                            hist[bin_offset[f] + codes[f]];
+                        bs.g += g;
+                        bs.h += 1.0;
+                    }
                 }
+            };
+            if (wide) {
+                ThreadPool::global().parallelFor(
+                    0, static_cast<int64_t>(nf), 1, build_hist);
+            } else {
+                build_hist(0, static_cast<int64_t>(nf));
             }
 
-            // Best split scan.
+            // Best split scan, fanned out over features. Each chunk
+            // keeps a local argmax; the merge walks chunks in feature
+            // order with the same strict > the serial scan uses, so
+            // ties resolve identically (lowest feature, lowest bin).
             const double parent_sim =
                 similarity(gsum, hsum, params.lambda);
+            struct SplitCand
+            {
+                double gain = 0.0;
+                int feature = -1;
+                int bin = -1;
+            };
+            std::vector<SplitCand> cand(nf);
+            auto scan_features = [&](int64_t f_lo, int64_t f_hi) {
+                for (int64_t f = f_lo; f < f_hi; ++f) {
+                    SplitCand best;
+                    double gl = 0.0, hl = 0.0;
+                    const BinStats *fh = hist.data() + bin_offset[f];
+                    const size_t nbins =
+                        bin_offset[f + 1] - bin_offset[f];
+                    for (size_t bin = 0; bin + 1 < nbins; ++bin) {
+                        gl += fh[bin].g;
+                        hl += fh[bin].h;
+                        const double gr = gsum - gl;
+                        const double hr = hsum - hl;
+                        if (hl < params.minChildWeight ||
+                            hr < params.minChildWeight)
+                            continue;
+                        const double gain = 0.5 *
+                            (similarity(gl, hl, params.lambda) +
+                             similarity(gr, hr, params.lambda) -
+                             parent_sim) - params.gamma;
+                        if (gain > best.gain) {
+                            best.gain = gain;
+                            best.feature = static_cast<int>(f);
+                            best.bin = static_cast<int>(bin);
+                        }
+                    }
+                    cand[f] = best;
+                }
+            };
+            if (wide) {
+                ThreadPool::global().parallelFor(
+                    0, static_cast<int64_t>(nf), 1, scan_features);
+            } else {
+                scan_features(0, static_cast<int64_t>(nf));
+            }
             double best_gain = 0.0;
             int best_feature = -1;
             int best_bin = -1;
             for (size_t f = 0; f < nf; ++f) {
-                double gl = 0.0, hl = 0.0;
-                const size_t nbins = hist[f].size();
-                for (size_t bin = 0; bin + 1 < nbins; ++bin) {
-                    gl += hist[f][bin].g;
-                    hl += hist[f][bin].h;
-                    const double gr = gsum - gl;
-                    const double hr = hsum - hl;
-                    if (hl < params.minChildWeight ||
-                        hr < params.minChildWeight)
-                        continue;
-                    const double gain = 0.5 *
-                        (similarity(gl, hl, params.lambda) +
-                         similarity(gr, hr, params.lambda) -
-                         parent_sim) - params.gamma;
-                    if (gain > best_gain) {
-                        best_gain = gain;
-                        best_feature = static_cast<int>(f);
-                        best_bin = static_cast<int>(bin);
-                    }
+                if (cand[f].gain > best_gain) {
+                    best_gain = cand[f].gain;
+                    best_feature = cand[f].feature;
+                    best_bin = cand[f].bin;
                 }
             }
 
@@ -261,9 +323,16 @@ GBTRegressor::train(const Dataset &data, const GBTParams &params)
             stack.push_back({right, mid, task.end, task.depth + 1});
         }
 
-        // Update running predictions with the shrunk tree output.
-        for (size_t i = 0; i < n; ++i)
-            pred[i] += params.learningRate * tree.predict(data.row(i));
+        // Update running predictions with the shrunk tree output
+        // (independent per row; fanned out for large datasets).
+        ThreadPool::global().parallelFor(
+            0, static_cast<int64_t>(n), 4096,
+            [&](int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) {
+                    pred[i] += params.learningRate *
+                        tree.predict(data.row(i));
+                }
+            });
 
         trees_.push_back(std::move(tree));
     }
@@ -293,8 +362,12 @@ GBTRegressor::predictAll(const Dataset &data) const
     boreas_assert(data.numFeatures() == numFeatures_,
                   "dataset feature count mismatch");
     std::vector<double> out(data.numRows());
-    for (size_t r = 0; r < data.numRows(); ++r)
-        out[r] = predict(data.row(r));
+    ThreadPool::global().parallelFor(
+        0, static_cast<int64_t>(data.numRows()), 4096,
+        [&](int64_t lo, int64_t hi) {
+            for (int64_t r = lo; r < hi; ++r)
+                out[r] = predict(data.row(r));
+        });
     return out;
 }
 

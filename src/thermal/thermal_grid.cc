@@ -8,6 +8,46 @@
 namespace boreas
 {
 
+namespace
+{
+
+/**
+ * One interior stencil row (all four neighbors exist): branch-free,
+ * restrict-qualified, and kept a free function so the compiler can
+ * prove independence and vectorize it. The floating-point operation
+ * order matches the reference branchy formulation term for term, so
+ * the fast path changes speed only, never results.
+ */
+void
+updateInteriorRow(const double *__restrict tsi_v,
+                  const double *__restrict tsp_v,
+                  double *__restrict nsi_v, double *__restrict nsp_v,
+                  const double *__restrict pc_v, int row, int nx,
+                  double g_si, double g_sp, double g_v, double g_sink,
+                  double tsink, double inv_csi, double inv_csp)
+{
+    for (int i = row + 1; i < row + nx - 1; ++i) {
+        const double tsi = tsi_v[i];
+        const double tsp = tsp_v[i];
+
+        double flux = pc_v[i] + g_v * (tsp - tsi);
+        flux += g_si * (tsi_v[i - 1] - tsi);
+        flux += g_si * (tsi_v[i + 1] - tsi);
+        flux += g_si * (tsi_v[i - nx] - tsi);
+        flux += g_si * (tsi_v[i + nx] - tsi);
+        nsi_v[i] = tsi + inv_csi * flux;
+
+        double fsp = g_v * (tsi - tsp) + g_sink * (tsink - tsp);
+        fsp += g_sp * (tsp_v[i - 1] - tsp);
+        fsp += g_sp * (tsp_v[i + 1] - tsp);
+        fsp += g_sp * (tsp_v[i - nx] - tsp);
+        fsp += g_sp * (tsp_v[i + nx] - tsp);
+        nsp_v[i] = tsp + inv_csp * fsp;
+    }
+}
+
+} // namespace
+
 ThermalGrid::ThermalGrid(const Floorplan &floorplan,
                          const ThermalParams &params)
     : floorplan_(&floorplan), params_(params)
@@ -96,46 +136,74 @@ ThermalGrid::step(Seconds dt)
 
     const int nx = params_.nx;
     const int ny = params_.ny;
+    const int n = nx * ny;
     const double inv_csi = h / cSi_;
     const double inv_csp = h / cSp_;
+    const double g_si = gLatSi_;
+    const double g_sp = gLatSp_;
+    const double g_v = gVert_;
+    const double g_sink = gSinkCell_;
 
+    // The loops below preserve the exact per-node floating-point
+    // operation order of the reference (branchy) formulation, so the
+    // split changes speed only, never results.
     for (int s = 0; s < substeps; ++s) {
-        double sink_flux = 0.0;
-        for (int y = 0; y < ny; ++y) {
+        const double *__restrict tsi_v = tSi_.data();
+        const double *__restrict tsp_v = tSp_.data();
+        double *__restrict nsi_v = newSi_.data();
+        double *__restrict nsp_v = newSp_.data();
+        const double *__restrict pc_v = pCell_.data();
+        const double tsink = tSink_;
+
+        // Boundary cells keep the reference branch structure.
+        auto edge_cell = [&](int x, int y, int i) {
+            const double tsi = tsi_v[i];
+            const double tsp = tsp_v[i];
+
+            double flux = pc_v[i] + g_v * (tsp - tsi);
+            if (x > 0)
+                flux += g_si * (tsi_v[i - 1] - tsi);
+            if (x < nx - 1)
+                flux += g_si * (tsi_v[i + 1] - tsi);
+            if (y > 0)
+                flux += g_si * (tsi_v[i - nx] - tsi);
+            if (y < ny - 1)
+                flux += g_si * (tsi_v[i + nx] - tsi);
+            nsi_v[i] = tsi + inv_csi * flux;
+
+            double fsp = g_v * (tsi - tsp) + g_sink * (tsink - tsp);
+            if (x > 0)
+                fsp += g_sp * (tsp_v[i - 1] - tsp);
+            if (x < nx - 1)
+                fsp += g_sp * (tsp_v[i + 1] - tsp);
+            if (y > 0)
+                fsp += g_sp * (tsp_v[i - nx] - tsp);
+            if (y < ny - 1)
+                fsp += g_sp * (tsp_v[i + nx] - tsp);
+            nsp_v[i] = tsp + inv_csp * fsp;
+        };
+
+        for (int x = 0; x < nx; ++x)
+            edge_cell(x, 0, x);
+
+        for (int y = 1; y < ny - 1; ++y) {
             const int row = y * nx;
-            for (int x = 0; x < nx; ++x) {
-                const int i = row + x;
-                const double tsi = tSi_[i];
-                const double tsp = tSp_[i];
-
-                // Silicon node: lateral + vertical + injected power.
-                double flux = pCell_[i] + gVert_ * (tsp - tsi);
-                if (x > 0)
-                    flux += gLatSi_ * (tSi_[i - 1] - tsi);
-                if (x < nx - 1)
-                    flux += gLatSi_ * (tSi_[i + 1] - tsi);
-                if (y > 0)
-                    flux += gLatSi_ * (tSi_[i - nx] - tsi);
-                if (y < ny - 1)
-                    flux += gLatSi_ * (tSi_[i + nx] - tsi);
-                newSi_[i] = tsi + inv_csi * flux;
-
-                // Spreader node.
-                double fsp = gVert_ * (tsi - tsp) +
-                    gSinkCell_ * (tSink_ - tsp);
-                if (x > 0)
-                    fsp += gLatSp_ * (tSp_[i - 1] - tsp);
-                if (x < nx - 1)
-                    fsp += gLatSp_ * (tSp_[i + 1] - tsp);
-                if (y > 0)
-                    fsp += gLatSp_ * (tSp_[i - nx] - tsp);
-                if (y < ny - 1)
-                    fsp += gLatSp_ * (tSp_[i + nx] - tsp);
-                newSp_[i] = tsp + inv_csp * fsp;
-
-                sink_flux += gSinkCell_ * (tsp - tSink_);
-            }
+            edge_cell(0, y, row);
+            updateInteriorRow(tsi_v, tsp_v, nsi_v, nsp_v, pc_v, row,
+                              nx, g_si, g_sp, g_v, g_sink, tsink,
+                              inv_csi, inv_csp);
+            edge_cell(nx - 1, y, row + nx - 1);
         }
+
+        const int last_row = (ny - 1) * nx;
+        for (int x = 0; x < nx; ++x)
+            edge_cell(x, ny - 1, last_row + x);
+
+        // Sink update: same row-major accumulation order as the
+        // reference interleaved loop.
+        double sink_flux = 0.0;
+        for (int i = 0; i < n; ++i)
+            sink_flux += g_sink * (tsp_v[i] - tsink);
         sink_flux += (params_.ambient - tSink_) /
             params_.sinkAmbientResistance;
         tSink_ += h / params_.sinkCapacitance * sink_flux;
@@ -248,10 +316,10 @@ ThermalGrid::cellCenter(int cell) const
     return {(cx + 0.5) * cw, (cy + 0.5) * ch};
 }
 
-std::vector<Celsius>
+const std::vector<Celsius> &
 ThermalGrid::unitTemps() const
 {
-    std::vector<Celsius> temps(floorplan_->numUnits(), params_.ambient);
+    unitTempsScratch_.assign(floorplan_->numUnits(), params_.ambient);
     for (size_t u = 0; u < unitMaps_.size(); ++u) {
         const UnitCellMap &map = unitMaps_[u];
         double acc = 0.0;
@@ -261,9 +329,9 @@ ThermalGrid::unitTemps() const
             wsum += map.fractions[k];
         }
         if (wsum > 0.0)
-            temps[u] = acc / wsum;
+            unitTempsScratch_[u] = acc / wsum;
     }
-    return temps;
+    return unitTempsScratch_;
 }
 
 Watts

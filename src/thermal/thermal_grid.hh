@@ -109,8 +109,13 @@ class ThermalGrid
     /** Temperature of the silicon cell containing the point. */
     Celsius temperatureAt(const Point &p) const;
 
-    /** Area-weighted mean silicon temperature of each functional unit. */
-    std::vector<Celsius> unitTemps() const;
+    /**
+     * Area-weighted mean silicon temperature of each functional unit.
+     * The returned reference aliases an internal scratch buffer that is
+     * overwritten by the next unitTemps() call (hot-path allocation
+     * avoidance); copy it if you need it past that.
+     */
+    const std::vector<Celsius> &unitTemps() const;
 
     /** Heatsink node temperature. */
     Celsius sinkTemp() const { return tSink_; }
@@ -152,6 +157,10 @@ class ThermalGrid
     // Scratch buffers for integration.
     std::vector<double> newSi_;
     std::vector<double> newSp_;
+
+    // Reused by unitTemps() so the per-telemetry-step pipeline loop
+    // does not allocate.
+    mutable std::vector<Celsius> unitTempsScratch_;
 };
 
 } // namespace boreas
