@@ -11,8 +11,7 @@
  * which reproduces every figure's shape in a few minutes total.
  */
 
-#ifndef BOREAS_BENCH_HARNESS_HH
-#define BOREAS_BENCH_HARNESS_HH
+#pragma once
 
 #include <functional>
 #include <memory>
@@ -131,5 +130,3 @@ evaluateGrid(const PipelineConfig &config,
              uint64_t seed = kBenchSeed);
 
 } // namespace boreas::bench
-
-#endif // BOREAS_BENCH_HARNESS_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/checked.hh"
 #include "common/logging.hh"
 
 namespace boreas
@@ -206,6 +207,13 @@ IntervalCore::step(const PhaseParams &phase, GHz freq, Seconds dt,
     c[Counter::MemoryReads] = l3_misses;
     c[Counter::MemoryWrites] = l3_misses * 0.4;
 
+    if constexpr (kCheckedBuild) {
+        // Every counter is a per-interval event count or duty cycle:
+        // finite and nonnegative by construction, and bounded far
+        // below 1e15 even at 5 GHz x 80 us x wide issue.
+        checkValuesInRange(c.values.data(), c.values.size(), 0.0,
+                           1e15, "counter value");
+    }
     return c;
 }
 

@@ -16,8 +16,7 @@
  * workload power/thermal response across the VF range.
  */
 
-#ifndef BOREAS_ARCH_CORE_MODEL_HH
-#define BOREAS_ARCH_CORE_MODEL_HH
+#pragma once
 
 #include "arch/counters.hh"
 #include "common/rng.hh"
@@ -139,5 +138,3 @@ class IntervalCore
 };
 
 } // namespace boreas
-
-#endif // BOREAS_ARCH_CORE_MODEL_HH

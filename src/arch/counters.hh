@@ -12,8 +12,7 @@
  * reproduced feature-importance table keys match the paper verbatim.
  */
 
-#ifndef BOREAS_ARCH_COUNTERS_HH
-#define BOREAS_ARCH_COUNTERS_HH
+#pragma once
 
 #include <array>
 #include <cstddef>
@@ -143,5 +142,3 @@ struct CounterSet
 };
 
 } // namespace boreas
-
-#endif // BOREAS_ARCH_COUNTERS_HH

@@ -5,8 +5,7 @@
  * and the critical-temperature study behind the thermal-aware models.
  */
 
-#ifndef BOREAS_BOREAS_ANALYSIS_HH
-#define BOREAS_BOREAS_ANALYSIS_HH
+#pragma once
 
 #include <limits>
 #include <string>
@@ -81,5 +80,3 @@ CriticalTempStudy criticalTempStudy(SimulationPipeline &pipeline,
                                     int steps = kTraceSteps);
 
 } // namespace boreas
-
-#endif // BOREAS_BOREAS_ANALYSIS_HH

@@ -18,8 +18,7 @@
  * temp_next) samples the Cochran-Reda baseline trains on.
  */
 
-#ifndef BOREAS_BOREAS_DATASET_BUILDER_HH
-#define BOREAS_BOREAS_DATASET_BUILDER_HH
+#pragma once
 
 #include <vector>
 
@@ -92,5 +91,3 @@ BuiltData buildTrainingData(SimulationPipeline &pipeline,
                             const DatasetConfig &config);
 
 } // namespace boreas
-
-#endif // BOREAS_BOREAS_DATASET_BUILDER_HH

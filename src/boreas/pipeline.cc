@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/hash.hh"
 #include "common/logging.hh"
 
 namespace boreas
@@ -91,6 +92,7 @@ SimulationPipeline::start(const WorkloadSpec &workload, uint64_t seed,
     run_ = std::make_unique<WorkloadRun>(workload, seed);
     sensorRng_ = Rng(seed ^ 0xb0a3a5c1d2e3f405ULL);
     stepIndex_ = 0;
+    runHash_ = 0;
 
     grid_.reset(config_.thermal.ambient);
     if (config_.warmStart) {
@@ -152,6 +154,33 @@ SimulationPipeline::step(GHz freq)
     const Meters cell_size = floorplan_.dieWidth() / grid_.nx();
     rec.severity = severity_.evaluate(grid_.siliconTemps(), grid_.nx(),
                                       grid_.ny(), cell_size);
+
+    // Bitwise fingerprint of everything this step observed or
+    // mutated. Fed by the determinism audit (tests compare it across
+    // thread counts); cheap next to the thermal integration.
+    Fnv1a hasher;
+    hasher.add(rec.step);
+    hasher.add(rec.frequency);
+    hasher.add(rec.voltage);
+    for (double v : rec.counters.values)
+        hasher.add(v);
+    hasher.add(rec.totalPower);
+    hasher.add(rec.severity.maxSeverity);
+    hasher.add(rec.severity.argmaxCell);
+    hasher.add(rec.severity.tempAtMax);
+    hasher.add(rec.severity.mltdAtMax);
+    hasher.add(rec.severity.maxTemp);
+    hasher.add(rec.severity.maxMltd);
+    hasher.add(rec.sensorReadings);
+    hasher.add(rec.sensorTrue);
+    hasher.add(grid_.siliconTemps());
+    hasher.add(grid_.sinkTemp());
+    rec.stateHash = hasher.digest();
+
+    Fnv1a combine;
+    combine.add(runHash_);
+    combine.add(rec.stateHash);
+    runHash_ = combine.digest();
 
     run_->advance(config_.stepLength);
     ++stepIndex_;

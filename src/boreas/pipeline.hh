@@ -16,9 +16,9 @@
  * sustained operation.
  */
 
-#ifndef BOREAS_BOREAS_PIPELINE_HH
-#define BOREAS_BOREAS_PIPELINE_HH
+#pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -65,6 +65,14 @@ struct StepRecord
     SeveritySnapshot severity;
     std::vector<Celsius> sensorReadings; ///< delayed
     std::vector<Celsius> sensorTrue;     ///< instantaneous at the sites
+
+    /**
+     * FNV-1a over this step's full observable state (counters, power,
+     * severity, sensors) plus the silicon temperature field — the
+     * bitwise fingerprint the determinism audit compares across
+     * thread counts (DESIGN.md §7).
+     */
+    uint64_t stateHash = 0;
 };
 
 /** Aggregate outcome of one complete run. */
@@ -110,6 +118,13 @@ class SimulationPipeline
 
     /** Steps executed since start(). */
     int currentStep() const { return stepIndex_; }
+
+    /**
+     * Running FNV-1a combination of every stateHash since start().
+     * Two runs of the same workload/seed/schedule must agree bitwise
+     * at any thread count (common/parallel.hh determinism contract).
+     */
+    uint64_t runHash() const { return runHash_; }
 
     /**
      * Run `steps` telemetry steps at a fixed frequency (Fig. 2 sweeps,
@@ -158,8 +173,7 @@ class SimulationPipeline
     std::unique_ptr<WorkloadRun> run_;
     Rng sensorRng_{0};
     int stepIndex_ = 0;
+    uint64_t runHash_ = 0;
 };
 
 } // namespace boreas
-
-#endif // BOREAS_BOREAS_PIPELINE_HH

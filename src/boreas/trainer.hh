@@ -6,8 +6,7 @@
  * selected feature subset.
  */
 
-#ifndef BOREAS_BOREAS_TRAINER_HH
-#define BOREAS_BOREAS_TRAINER_HH
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -83,5 +82,3 @@ void saveTrainedBoreas(const TrainedBoreas &trained, std::ostream &os);
 TrainedBoreas loadTrainedBoreas(std::istream &is);
 
 } // namespace boreas
-
-#endif // BOREAS_BOREAS_TRAINER_HH

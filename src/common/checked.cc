@@ -1,0 +1,36 @@
+#include "common/checked.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace boreas
+{
+
+void
+checkValuesInRange(const double *v, size_t n, double lo, double hi,
+                   const char *what)
+{
+    for (size_t i = 0; i < n; ++i) {
+        if (!std::isfinite(v[i]) || v[i] < lo || v[i] > hi) {
+            boreas_panic("%s[%zu] = %g outside [%g, %g] "
+                         "(checked-build invariant)", what, i, v[i],
+                         lo, hi);
+        }
+    }
+}
+
+void
+checkMonotone(const double *v, size_t n, bool strict, const char *what)
+{
+    for (size_t i = 0; i + 1 < n; ++i) {
+        const bool ok = strict ? v[i] < v[i + 1] : v[i] <= v[i + 1];
+        if (!ok) {
+            boreas_panic("%s not monotone at [%zu]: %g then %g "
+                         "(checked-build invariant)", what, i, v[i],
+                         v[i + 1]);
+        }
+    }
+}
+
+} // namespace boreas

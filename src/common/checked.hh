@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The checked invariant build (DESIGN.md §7).
+ *
+ * BOREAS_CHECKED builds (cmake --preset checked) turn on domain
+ * invariant checks that are too expensive for every build: finite and
+ * in-range temperatures after each thermal step, per-element matrix
+ * index bounds, counter-range validation, monotone VF tables. Checks
+ * are written as
+ *
+ *   if constexpr (kCheckedBuild)
+ *       checkValuesInRange(...);
+ *
+ * or with the boreas_check() macro (common/logging.hh) so unchecked
+ * builds type-check the condition but compile it away.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+namespace boreas
+{
+
+#ifdef BOREAS_CHECKED
+inline constexpr bool kCheckedBuild = true;
+#else
+inline constexpr bool kCheckedBuild = false;
+#endif
+
+/**
+ * Panic unless v[0..n) are all finite and within [lo, hi]. The panic
+ * message names the offending index and value.
+ */
+void checkValuesInRange(const double *v, size_t n, double lo, double hi,
+                        const char *what);
+
+/** Panic unless v[0..n) is monotone increasing (strictly, if asked). */
+void checkMonotone(const double *v, size_t n, bool strict,
+                   const char *what);
+
+} // namespace boreas

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * FNV-1a streaming hasher over exact bit patterns.
+ *
+ * Used by the pipeline's per-step state hash (DESIGN.md §7): doubles
+ * are hashed by their IEEE-754 bits, so two runs hash equal iff their
+ * states are bitwise identical — exactly the determinism contract the
+ * parallel layer promises (common/parallel.hh). Not a cryptographic
+ * hash and not portable across endianness; it only needs to compare
+ * runs within one process.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace boreas
+{
+
+/** Streaming 64-bit FNV-1a. */
+class Fnv1a
+{
+  public:
+    void
+    addBytes(const void *p, size_t n)
+    {
+        const auto *b = static_cast<const unsigned char *>(p);
+        for (size_t i = 0; i < n; ++i) {
+            h_ ^= b[i];
+            h_ *= 0x100000001b3ULL;
+        }
+    }
+
+    void
+    add(uint64_t v)
+    {
+        addBytes(&v, sizeof(v));
+    }
+
+    void
+    add(int64_t v)
+    {
+        addBytes(&v, sizeof(v));
+    }
+
+    void
+    add(int v)
+    {
+        add(static_cast<int64_t>(v));
+    }
+
+    /** Hash the exact IEEE-754 bit pattern (distinguishes -0.0/+0.0). */
+    void
+    add(double v)
+    {
+        uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        add(bits);
+    }
+
+    void
+    add(const std::vector<double> &v)
+    {
+        for (double x : v)
+            add(x);
+    }
+
+    uint64_t digest() const { return h_; }
+
+  private:
+    uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+} // namespace boreas

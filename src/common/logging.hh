@@ -7,8 +7,7 @@
  * warn()/inform() print status without stopping the run.
  */
 
-#ifndef BOREAS_COMMON_LOGGING_HH
-#define BOREAS_COMMON_LOGGING_HH
+#pragma once
 
 #include <cstdio>
 #include <cstdlib>
@@ -54,4 +53,18 @@ std::string strfmt(const char *fmt, ...)
                          ::boreas::strfmt(__VA_ARGS__).c_str()); \
     } while (0)
 
-#endif // BOREAS_COMMON_LOGGING_HH
+/**
+ * Domain invariant check active only in BOREAS_CHECKED builds
+ * (DESIGN.md §7; see also common/checked.hh). Use for checks too hot
+ * or too heavy for boreas_assert — per-element index bounds, full
+ * state scans. The condition still type-checks (unevaluated) in
+ * unchecked builds, so checked-only code cannot rot.
+ */
+#ifdef BOREAS_CHECKED
+#define boreas_check(cond, ...) boreas_assert(cond, __VA_ARGS__)
+#else
+#define boreas_check(cond, ...) \
+    do { \
+        (void)sizeof((cond) ? 1 : 0); \
+    } while (0)
+#endif

@@ -8,11 +8,12 @@
  * eigen decomposition for symmetric matrices).
  */
 
-#ifndef BOREAS_COMMON_MATRIX_HH
-#define BOREAS_COMMON_MATRIX_HH
+#pragma once
 
 #include <cstddef>
 #include <vector>
+
+#include "common/logging.hh"
 
 namespace boreas
 {
@@ -32,8 +33,23 @@ class Matrix
     size_t rows() const { return rows_; }
     size_t cols() const { return cols_; }
 
-    double &at(size_t r, size_t c) { return data_[r * cols_ + c]; }
-    double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+    double &
+    at(size_t r, size_t c)
+    {
+        boreas_check(r < rows_ && c < cols_,
+                     "matrix index (%zu, %zu) outside %zux%zu",
+                     r, c, rows_, cols_);
+        return data_[r * cols_ + c];
+    }
+
+    double
+    at(size_t r, size_t c) const
+    {
+        boreas_check(r < rows_ && c < cols_,
+                     "matrix index (%zu, %zu) outside %zux%zu",
+                     r, c, rows_, cols_);
+        return data_[r * cols_ + c];
+    }
 
     double &operator()(size_t r, size_t c) { return at(r, c); }
     double operator()(size_t r, size_t c) const { return at(r, c); }
@@ -73,5 +89,3 @@ class Matrix
 };
 
 } // namespace boreas
-
-#endif // BOREAS_COMMON_MATRIX_HH

@@ -26,8 +26,7 @@
  * rethrown on the waiting thread.
  */
 
-#ifndef BOREAS_COMMON_PARALLEL_HH
-#define BOREAS_COMMON_PARALLEL_HH
+#pragma once
 
 #include <condition_variable>
 #include <cstdint>
@@ -137,5 +136,3 @@ class TaskGroup
 };
 
 } // namespace boreas
-
-#endif // BOREAS_COMMON_PARALLEL_HH

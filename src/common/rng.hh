@@ -9,8 +9,7 @@
  * statistical uses in this project.
  */
 
-#ifndef BOREAS_COMMON_RNG_HH
-#define BOREAS_COMMON_RNG_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -60,5 +59,3 @@ class Rng
 };
 
 } // namespace boreas
-
-#endif // BOREAS_COMMON_RNG_HH

@@ -4,8 +4,7 @@
  * benchmark harnesses.
  */
 
-#ifndef BOREAS_COMMON_STATS_HH
-#define BOREAS_COMMON_STATS_HH
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -49,5 +48,3 @@ double meanSquaredError(const std::vector<double> &a,
                         const std::vector<double> &b);
 
 } // namespace boreas
-
-#endif // BOREAS_COMMON_STATS_HH

@@ -4,8 +4,7 @@
  * rows/series of each paper table and figure.
  */
 
-#ifndef BOREAS_COMMON_TABLE_HH
-#define BOREAS_COMMON_TABLE_HH
+#pragma once
 
 #include <ostream>
 #include <string>
@@ -41,5 +40,3 @@ class TextTable
 };
 
 } // namespace boreas
-
-#endif // BOREAS_COMMON_TABLE_HH

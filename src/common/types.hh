@@ -8,8 +8,7 @@
  * simple; names exist to make interfaces self-documenting.
  */
 
-#ifndef BOREAS_COMMON_TYPES_HH
-#define BOREAS_COMMON_TYPES_HH
+#pragma once
 
 #include <cstdint>
 
@@ -53,5 +52,3 @@ constexpr GHz kMaxFrequency = 5.0;
 constexpr GHz kBaselineFrequency = 3.75;
 
 } // namespace boreas
-
-#endif // BOREAS_COMMON_TYPES_HH

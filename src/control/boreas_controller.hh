@@ -16,8 +16,7 @@
  * guardbands of 0%, 5% and 10% (thresholds 1.0, 0.95, 0.9; Sec. V-C).
  */
 
-#ifndef BOREAS_CONTROL_BOREAS_CONTROLLER_HH
-#define BOREAS_CONTROL_BOREAS_CONTROLLER_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -63,5 +62,3 @@ class BoreasController : public FrequencyController
 };
 
 } // namespace boreas
-
-#endif // BOREAS_CONTROL_BOREAS_CONTROLLER_HH

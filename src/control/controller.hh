@@ -9,8 +9,7 @@
  * the next period; the VF table supplies the matching voltage.
  */
 
-#ifndef BOREAS_CONTROL_CONTROLLER_HH
-#define BOREAS_CONTROL_CONTROLLER_HH
+#pragma once
 
 #include <vector>
 
@@ -49,5 +48,3 @@ class FrequencyController
 };
 
 } // namespace boreas
-
-#endif // BOREAS_CONTROL_CONTROLLER_HH

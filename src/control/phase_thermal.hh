@@ -17,8 +17,7 @@
  * thresholds.
  */
 
-#ifndef BOREAS_CONTROL_PHASE_THERMAL_HH
-#define BOREAS_CONTROL_PHASE_THERMAL_HH
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -114,5 +113,3 @@ class PhaseThermalController : public FrequencyController
 };
 
 } // namespace boreas
-
-#endif // BOREAS_CONTROL_PHASE_THERMAL_HH

@@ -8,8 +8,7 @@
  * computed offline from the Fig. 2 sweep.
  */
 
-#ifndef BOREAS_CONTROL_STATIC_CONTROLLERS_HH
-#define BOREAS_CONTROL_STATIC_CONTROLLERS_HH
+#pragma once
 
 #include <string>
 
@@ -39,5 +38,3 @@ class FixedFrequencyController : public FrequencyController
 };
 
 } // namespace boreas
-
-#endif // BOREAS_CONTROL_STATIC_CONTROLLERS_HH

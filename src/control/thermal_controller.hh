@@ -13,8 +13,7 @@
  * causes incursions on bursty ones.
  */
 
-#ifndef BOREAS_CONTROL_THERMAL_CONTROLLER_HH
-#define BOREAS_CONTROL_THERMAL_CONTROLLER_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -63,5 +62,3 @@ class ThermalThresholdController : public FrequencyController
 };
 
 } // namespace boreas
-
-#endif // BOREAS_CONTROL_THERMAL_CONTROLLER_HH

@@ -7,8 +7,7 @@
  * watts per cell). rasterize() precomputes the unit-to-cell area mapping.
  */
 
-#ifndef BOREAS_FLOORPLAN_FLOORPLAN_HH
-#define BOREAS_FLOORPLAN_FLOORPLAN_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -104,5 +103,3 @@ class Floorplan
 };
 
 } // namespace boreas
-
-#endif // BOREAS_FLOORPLAN_FLOORPLAN_HH

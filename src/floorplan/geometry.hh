@@ -3,8 +3,7 @@
  * 2-D geometry primitives for floorplans and thermal grids.
  */
 
-#ifndef BOREAS_FLOORPLAN_GEOMETRY_HH
-#define BOREAS_FLOORPLAN_GEOMETRY_HH
+#pragma once
 
 #include "common/types.hh"
 
@@ -45,5 +44,3 @@ struct Rect
 Meters distance(const Point &a, const Point &b);
 
 } // namespace boreas
-
-#endif // BOREAS_FLOORPLAN_GEOMETRY_HH

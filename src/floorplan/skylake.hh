@@ -11,8 +11,7 @@
  * from the active core.
  */
 
-#ifndef BOREAS_FLOORPLAN_SKYLAKE_HH
-#define BOREAS_FLOORPLAN_SKYLAKE_HH
+#pragma once
 
 #include "floorplan/floorplan.hh"
 
@@ -36,5 +35,3 @@ struct SkylakeParams
 Floorplan buildSkylakeFloorplan(const SkylakeParams &params = {});
 
 } // namespace boreas
-
-#endif // BOREAS_FLOORPLAN_SKYLAKE_HH

@@ -13,8 +13,7 @@
  * around the threshold does not fragment one physical event into many.
  */
 
-#ifndef BOREAS_HOTSPOT_EVENTS_HH
-#define BOREAS_HOTSPOT_EVENTS_HH
+#pragma once
 
 #include <vector>
 
@@ -98,5 +97,3 @@ std::vector<HotspotEvent> extractHotspotEvents(
     Seconds step_length = kTelemetryStep);
 
 } // namespace boreas
-
-#endif // BOREAS_HOTSPOT_EVENTS_HH

@@ -19,8 +19,7 @@
  *     severity(T, M) = (T - T_ref) / (T_crit(M) - T_ref),  T_ref = 45 C.
  */
 
-#ifndef BOREAS_HOTSPOT_SEVERITY_HH
-#define BOREAS_HOTSPOT_SEVERITY_HH
+#pragma once
 
 #include <vector>
 
@@ -92,5 +91,3 @@ class SeverityModel
 };
 
 } // namespace boreas
-
-#endif // BOREAS_HOTSPOT_SEVERITY_HH

@@ -9,8 +9,7 @@
  * generalize to workloads it has never seen.
  */
 
-#ifndef BOREAS_ML_CV_HH
-#define BOREAS_ML_CV_HH
+#pragma once
 
 #include <vector>
 
@@ -64,5 +63,3 @@ GridSearchResult gridSearchCV(const Dataset &data,
                               int max_folds = -1);
 
 } // namespace boreas
-
-#endif // BOREAS_ML_CV_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/checked.hh"
 #include "common/logging.hh"
 
 namespace boreas
@@ -20,6 +21,11 @@ Dataset::addRow(const std::vector<double> &features, double target,
     boreas_assert(features.size() == numFeatures(),
                   "row width %zu != %zu features",
                   features.size(), numFeatures());
+    if constexpr (kCheckedBuild) {
+        checkValuesInRange(features.data(), features.size(), -1e15,
+                           1e15, "dataset feature");
+        checkValuesInRange(&target, 1, -1e15, 1e15, "dataset target");
+    }
     features_.insert(features_.end(), features.begin(), features.end());
     targets_.push_back(target);
     groups_.push_back(group);

@@ -10,8 +10,7 @@
  * leave-one-application-out (Sec. IV-A).
  */
 
-#ifndef BOREAS_ML_DATASET_HH
-#define BOREAS_ML_DATASET_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -81,5 +80,3 @@ class Dataset
 };
 
 } // namespace boreas
-
-#endif // BOREAS_ML_DATASET_HH

@@ -12,8 +12,7 @@
  * importance is small, but it must be present for the what-if query.
  */
 
-#ifndef BOREAS_ML_FEATURE_SCHEMA_HH
-#define BOREAS_ML_FEATURE_SCHEMA_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -59,5 +58,3 @@ std::vector<size_t> featureIndicesOf(
     const std::vector<std::string> &names);
 
 } // namespace boreas
-
-#endif // BOREAS_ML_FEATURE_SCHEMA_HH

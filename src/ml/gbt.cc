@@ -5,6 +5,7 @@
 #include <istream>
 #include <ostream>
 
+#include "common/checked.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
@@ -335,6 +336,26 @@ GBTRegressor::train(const Dataset &data, const GBTParams &params)
             });
 
         trees_.push_back(std::move(tree));
+    }
+
+    if constexpr (kCheckedBuild) {
+        // A non-finite leaf weight (e.g. from a degenerate hessian
+        // sum) poisons every later prediction; catch it at the source.
+        checkValuesInRange(&base_, 1, -1e12, 1e12, "GBT base");
+        for (const auto &t : trees_) {
+            for (const auto &node : t.nodes) {
+                checkValuesInRange(&node.value, 1, -1e12, 1e12,
+                                   "GBT leaf weight");
+                checkValuesInRange(&node.threshold, 1, -1e15, 1e15,
+                                   "GBT split threshold");
+                boreas_check(node.feature <
+                             static_cast<int>(numFeatures_),
+                             "split feature %d outside %zu features",
+                             node.feature, numFeatures_);
+            }
+        }
+        checkValuesInRange(pred.data(), pred.size(), -1e12, 1e12,
+                           "GBT training prediction");
     }
 }
 

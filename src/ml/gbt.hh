@@ -19,8 +19,7 @@
  * operation count of one serial prediction.
  */
 
-#ifndef BOREAS_ML_GBT_HH
-#define BOREAS_ML_GBT_HH
+#pragma once
 
 #include <cstdint>
 #include <iosfwd>
@@ -125,5 +124,3 @@ class GBTRegressor
 };
 
 } // namespace boreas
-
-#endif // BOREAS_ML_GBT_HH

@@ -7,8 +7,7 @@
  * sensors/placement is a separate, geometry-specialized implementation.
  */
 
-#ifndef BOREAS_ML_KMEANS_HH
-#define BOREAS_ML_KMEANS_HH
+#pragma once
 
 #include <cstddef>
 #include <iosfwd>
@@ -53,5 +52,3 @@ KMeansResult kmeans(const std::vector<double> &x_rowmajor, size_t dim,
                     size_t k, Rng &rng, int max_iters = 200);
 
 } // namespace boreas
-
-#endif // BOREAS_ML_KMEANS_HH

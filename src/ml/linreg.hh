@@ -7,8 +7,7 @@
  * components. Also handy as a sanity baseline against the GBT.
  */
 
-#ifndef BOREAS_ML_LINREG_HH
-#define BOREAS_ML_LINREG_HH
+#pragma once
 
 #include <iosfwd>
 #include <vector>
@@ -54,5 +53,3 @@ class LinearRegression
 };
 
 } // namespace boreas
-
-#endif // BOREAS_ML_LINREG_HH

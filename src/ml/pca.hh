@@ -8,8 +8,7 @@
  * standardization of inputs.
  */
 
-#ifndef BOREAS_ML_PCA_HH
-#define BOREAS_ML_PCA_HH
+#pragma once
 
 #include <iosfwd>
 #include <vector>
@@ -62,5 +61,3 @@ class PCA
 };
 
 } // namespace boreas
-
-#endif // BOREAS_ML_PCA_HH

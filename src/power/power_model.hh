@@ -14,8 +14,7 @@
  * which heats them further — part of what makes advanced hotspots fast.
  */
 
-#ifndef BOREAS_POWER_POWER_MODEL_HH
-#define BOREAS_POWER_POWER_MODEL_HH
+#pragma once
 
 #include <vector>
 
@@ -100,5 +99,3 @@ class PowerModel
 };
 
 } // namespace boreas
-
-#endif // BOREAS_POWER_POWER_MODEL_HH

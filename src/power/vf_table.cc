@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/checked.hh"
 #include "common/logging.hh"
 
 namespace boreas
@@ -35,6 +36,18 @@ VFTable::VFTable()
             }
         }
         volts_.push_back(v);
+    }
+
+    if constexpr (kCheckedBuild) {
+        // A non-monotone VF curve would make stepUp()/stepDown() and
+        // the controllers' "higher frequency costs more voltage"
+        // reasoning silently wrong.
+        checkMonotone(freqs_.data(), freqs_.size(), /*strict=*/true,
+                      "VF table frequencies");
+        checkMonotone(volts_.data(), volts_.size(), /*strict=*/true,
+                      "VF table voltages");
+        checkValuesInRange(volts_.data(), volts_.size(), 0.1, 2.0,
+                           "VF table voltage");
     }
 }
 

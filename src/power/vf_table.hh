@@ -8,8 +8,7 @@
  * between anchors.
  */
 
-#ifndef BOREAS_POWER_VF_TABLE_HH
-#define BOREAS_POWER_VF_TABLE_HH
+#pragma once
 
 #include <vector>
 
@@ -56,5 +55,3 @@ class VFTable
 };
 
 } // namespace boreas
-
-#endif // BOREAS_POWER_VF_TABLE_HH

@@ -14,8 +14,7 @@
  * L3 / SoC), which is why they only see the chip slowly warming.
  */
 
-#ifndef BOREAS_SENSORS_PLACEMENT_HH
-#define BOREAS_SENSORS_PLACEMENT_HH
+#pragma once
 
 #include <vector>
 
@@ -45,5 +44,3 @@ std::vector<Point> canonicalSensorSites(const Floorplan &floorplan,
 constexpr int kBestSensorIndex = 3;
 
 } // namespace boreas
-
-#endif // BOREAS_SENSORS_PLACEMENT_HH

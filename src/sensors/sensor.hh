@@ -11,8 +11,7 @@
  * read noise.
  */
 
-#ifndef BOREAS_SENSORS_SENSOR_HH
-#define BOREAS_SENSORS_SENSOR_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -99,5 +98,3 @@ class SensorBank
 };
 
 } // namespace boreas
-
-#endif // BOREAS_SENSORS_SENSOR_HH

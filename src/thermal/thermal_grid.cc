@@ -3,7 +3,19 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/checked.hh"
 #include "common/logging.hh"
+
+namespace
+{
+
+// Checked-build sanity range for any node temperature, generous
+// enough for deliberately-unstable test configs yet tight enough to
+// catch an exploding explicit integration or uninitialized state.
+constexpr double kMinSaneTemp = -100.0;
+constexpr double kMaxSaneTemp = 2000.0;
+
+} // namespace
 
 namespace boreas
 {
@@ -117,6 +129,12 @@ ThermalGrid::setUnitPower(const std::vector<Watts> &unit_power)
     boreas_assert(unit_power.size() == floorplan_->numUnits(),
                   "unit power size %zu != %zu units",
                   unit_power.size(), floorplan_->numUnits());
+    if constexpr (kCheckedBuild) {
+        // Negative or non-finite injected power silently corrupts the
+        // whole downstream telemetry -> GBT -> DVFS chain.
+        checkValuesInRange(unit_power.data(), unit_power.size(), 0.0,
+                           1e6, "unit power");
+    }
     std::fill(pCell_.begin(), pCell_.end(), 0.0);
     for (size_t u = 0; u < unit_power.size(); ++u) {
         const UnitCellMap &map = unitMaps_[u];
@@ -211,6 +229,15 @@ ThermalGrid::step(Seconds dt)
         tSi_.swap(newSi_);
         tSp_.swap(newSp_);
     }
+
+    if constexpr (kCheckedBuild) {
+        checkValuesInRange(tSi_.data(), tSi_.size(), kMinSaneTemp,
+                           kMaxSaneTemp, "silicon temperature");
+        checkValuesInRange(tSp_.data(), tSp_.size(), kMinSaneTemp,
+                           kMaxSaneTemp, "spreader temperature");
+        checkValuesInRange(&tSink_, 1, kMinSaneTemp, kMaxSaneTemp,
+                           "sink temperature");
+    }
 }
 
 int
@@ -278,6 +305,13 @@ ThermalGrid::solveSteadyState(double tolerance, int max_sweeps)
 
         if (max_delta < tolerance)
             break;
+    }
+
+    if constexpr (kCheckedBuild) {
+        checkValuesInRange(tSi_.data(), tSi_.size(), kMinSaneTemp,
+                           kMaxSaneTemp, "steady-state silicon temp");
+        checkValuesInRange(tSp_.data(), tSp_.size(), kMinSaneTemp,
+                           kMaxSaneTemp, "steady-state spreader temp");
     }
     return sweep;
 }

@@ -23,8 +23,7 @@
  * conditions.
  */
 
-#ifndef BOREAS_THERMAL_THERMAL_GRID_HH
-#define BOREAS_THERMAL_THERMAL_GRID_HH
+#pragma once
 
 #include <vector>
 
@@ -164,5 +163,3 @@ class ThermalGrid
 };
 
 } // namespace boreas
-
-#endif // BOREAS_THERMAL_THERMAL_GRID_HH

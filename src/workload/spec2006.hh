@@ -9,8 +9,7 @@
  * scale that positions its peak-severity-vs-frequency curve (Fig. 2).
  */
 
-#ifndef BOREAS_WORKLOAD_SPEC2006_HH
-#define BOREAS_WORKLOAD_SPEC2006_HH
+#pragma once
 
 #include <vector>
 
@@ -41,5 +40,3 @@ const WorkloadSpec &findWorkload(const std::string &name);
 GHz designOracleFrequency(const std::string &name);
 
 } // namespace boreas
-
-#endif // BOREAS_WORKLOAD_SPEC2006_HH

@@ -11,8 +11,7 @@
  * controls. See DESIGN.md for the substitution rationale.
  */
 
-#ifndef BOREAS_WORKLOAD_WORKLOAD_HH
-#define BOREAS_WORKLOAD_WORKLOAD_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -99,5 +98,3 @@ class WorkloadRun
 };
 
 } // namespace boreas
-
-#endif // BOREAS_WORKLOAD_WORKLOAD_HH

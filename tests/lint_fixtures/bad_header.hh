@@ -1,0 +1,11 @@
+// Fixture header: missing #pragma once fires [header-guard] and the
+// namespace-scope using-directive fires [header-hygiene]. Not compiled.
+#include <vector>
+
+using namespace std;
+
+inline vector<int>
+fixtureHeader()
+{
+    return {1, 2, 3};
+}

@@ -1,0 +1,11 @@
+// Fixture: non-repo-relative includes fire [include-style]. The
+// headers named here do not exist — the file is never compiled.
+#include "../common/escape_hatch.hh"
+#include <boreas/pipeline.hh>
+#include "inline_impl.cc"
+
+int
+fixtureInclude()
+{
+    return 0;
+}

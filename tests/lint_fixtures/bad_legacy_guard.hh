@@ -1,0 +1,13 @@
+// Fixture header: keeping an #ifndef guard alongside #pragma once
+// fires [header-guard]. Not compiled.
+#pragma once
+#ifndef FIXTURE_LEGACY_GUARD_HH
+#define FIXTURE_LEGACY_GUARD_HH
+
+inline int
+fixtureLegacyGuard()
+{
+    return 0;
+}
+
+#endif // FIXTURE_LEGACY_GUARD_HH

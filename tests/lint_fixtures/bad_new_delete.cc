@@ -1,0 +1,19 @@
+// Fixture: raw new/delete fires [raw-new-delete]; deleted special
+// members must not. Not compiled.
+
+struct FixtureOwner
+{
+    FixtureOwner(const FixtureOwner &) = delete;
+    FixtureOwner &operator=(const FixtureOwner &) = delete;
+
+    int *raw = nullptr;
+};
+
+void
+fixtureNewDelete(FixtureOwner &o)
+{
+    o.raw = new int(42);
+    int *arr = new int[8];
+    delete o.raw;
+    delete[] arr;
+}

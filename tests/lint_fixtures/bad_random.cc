@@ -1,0 +1,11 @@
+// Fixture: every line here that touches raw randomness must fire
+// [raw-random]. Not compiled — consumed by tests/test_lint.cc.
+#include <random>
+
+int
+fixtureRandom()
+{
+    std::random_device rd;
+    std::mt19937 gen(rd());
+    return rand() % 7;
+}

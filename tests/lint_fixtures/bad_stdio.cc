@@ -1,0 +1,16 @@
+// Fixture: direct stdio fires [direct-stdio]; mentions of printf in
+// comments and string literals must not. Not compiled.
+#include <cstdio>
+#include <iostream>
+
+void
+fixtureStdio(int n)
+{
+    // printf("this comment must not fire");
+    const char *msg = "printf( and std::cout inside a string";
+    std::cout << msg << n;
+    std::cerr << "oops";
+    printf("%d\n", n);
+    puts("done");
+    fprintf(stderr, "%d\n", n);
+}

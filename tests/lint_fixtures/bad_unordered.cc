@@ -1,0 +1,18 @@
+// Fixture: unordered containers fire [unordered-container]; the
+// allow() marker suppresses a justified use. Not compiled.
+#include <string>
+#include <unordered_map>
+
+double
+fixtureUnordered()
+{
+    std::unordered_map<std::string, double> acc;
+    acc["x"] = 1.0;
+    double sum = 0.0;
+    for (const auto &kv : acc)
+        sum += kv.second;
+
+    // Lookup-only cache, never iterated. boreas-lint: allow(unordered-container)
+    std::unordered_map<int, int> cache;
+    return sum + static_cast<double>(cache.size());
+}

@@ -1,0 +1,27 @@
+// Fixture header that must produce zero violations: #pragma once,
+// repo-relative include style, deleted special members, smart-pointer
+// ownership. Not compiled.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+namespace boreas_fixture
+{
+
+class Clean
+{
+  public:
+    Clean() = default;
+    Clean(const Clean &) = delete;
+    Clean &operator=(const Clean &) = delete;
+
+    // Words like renewal and deleter must not trip raw-new-delete.
+    void renewal();
+
+  private:
+    std::unique_ptr<int> owned_ = std::make_unique<int>(0);
+    std::vector<double> data_;
+};
+
+} // namespace boreas_fixture

@@ -1,0 +1,168 @@
+/**
+ * The repo linter's own tests: every rule must fire on its fixture
+ * file under tests/lint_fixtures/ and stay silent on clean code
+ * (including the src/common/rng and src/common/logging exemptions and
+ * the inline allow() marker).
+ */
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/linter.hh"
+
+using boreas::lint::Violation;
+using boreas::lint::lintContent;
+using boreas::lint::lintPath;
+
+namespace
+{
+
+std::string
+fixtureDir()
+{
+    return std::string(BOREAS_LINT_FIXTURES);
+}
+
+std::vector<Violation>
+lintFixture(const std::string &name)
+{
+    return lintPath(fixtureDir() + "/" + name);
+}
+
+int
+countRule(const std::vector<Violation> &vs, const std::string &rule)
+{
+    return static_cast<int>(
+        std::count_if(vs.begin(), vs.end(), [&](const Violation &v) {
+            return v.rule == rule;
+        }));
+}
+
+bool
+firesOnLine(const std::vector<Violation> &vs, const std::string &rule,
+            int line)
+{
+    return std::any_of(vs.begin(), vs.end(), [&](const Violation &v) {
+        return v.rule == rule && v.line == line;
+    });
+}
+
+} // namespace
+
+TEST(Lint, RawRandomFires)
+{
+    const auto vs = lintFixture("bad_random.cc");
+    EXPECT_EQ(countRule(vs, "raw-random"), 4) << "include <random>, "
+        "random_device, mt19937 and rand() should each fire";
+    for (const auto &v : vs)
+        EXPECT_EQ(v.rule, "raw-random");
+}
+
+TEST(Lint, RawRandomExemptInRngModule)
+{
+    const std::string body = "#include <random>\n"
+                             "int x = rand();\n";
+    EXPECT_TRUE(lintContent("src/common/rng.cc", body).empty());
+    EXPECT_EQ(countRule(lintContent("src/ml/kmeans.cc", body),
+                        "raw-random"), 2);
+}
+
+TEST(Lint, UnorderedContainerFiresAndAllowSuppresses)
+{
+    const auto vs = lintFixture("bad_unordered.cc");
+    EXPECT_EQ(countRule(vs, "unordered-container"), 1)
+        << "the declaration fires; the allow() line must not";
+}
+
+TEST(Lint, DirectStdioFires)
+{
+    const auto vs = lintFixture("bad_stdio.cc");
+    EXPECT_EQ(countRule(vs, "direct-stdio"), 5)
+        << "cout, cerr, printf, puts and fprintf(stderr each fire; "
+        "comment/string mentions must not";
+}
+
+TEST(Lint, DirectStdioExemptInLoggingModule)
+{
+    const std::string body = "void f() { std::cerr << 1; }\n";
+    EXPECT_TRUE(lintContent("src/common/logging.cc", body).empty());
+    EXPECT_EQ(countRule(lintContent("src/thermal/thermal_grid.cc", body),
+                        "direct-stdio"), 1);
+}
+
+TEST(Lint, RawNewDeleteFires)
+{
+    const auto vs = lintFixture("bad_new_delete.cc");
+    EXPECT_EQ(countRule(vs, "raw-new-delete"), 4)
+        << "new, new[], delete and delete[] each fire; '= delete' "
+        "declarations must not";
+}
+
+TEST(Lint, HeaderMissingPragmaOnceFires)
+{
+    const auto vs = lintFixture("bad_header.hh");
+    EXPECT_EQ(countRule(vs, "header-guard"), 1);
+    EXPECT_EQ(countRule(vs, "header-hygiene"), 1)
+        << "'using namespace' at header scope";
+}
+
+TEST(Lint, LegacyGuardNextToPragmaOnceFires)
+{
+    const auto vs = lintFixture("bad_legacy_guard.hh");
+    EXPECT_EQ(countRule(vs, "header-guard"), 1);
+    EXPECT_TRUE(firesOnLine(vs, "header-guard", 4));
+}
+
+TEST(Lint, IncludeStyleFires)
+{
+    const auto vs = lintFixture("bad_include.cc");
+    EXPECT_EQ(countRule(vs, "include-style"), 3)
+        << "'..' path, <boreas/...> form and .cc include each fire";
+}
+
+TEST(Lint, CleanFixturePasses)
+{
+    const auto vs = lintFixture("clean.hh");
+    for (const auto &v : vs)
+        ADD_FAILURE() << boreas::lint::format(v);
+}
+
+TEST(Lint, CommentedAndQuotedCodeIsIgnored)
+{
+    const std::string body =
+        "#pragma once\n"
+        "// int *p = new int; delete p; std::cout << rand();\n"
+        "/* std::unordered_map<int,int> m; */\n"
+        "inline const char *s = \"new delete printf( std::cout\";\n";
+    EXPECT_TRUE(lintContent("src/common/types.hh", body).empty());
+}
+
+TEST(Lint, DigitSeparatorsAreNotCharLiterals)
+{
+    // 1'000'000 must not open a char literal and swallow real code.
+    const std::string body = "#pragma once\n"
+                             "inline long x = 1'000'000;\n"
+                             "inline int *p = new int;\n";
+    EXPECT_EQ(countRule(lintContent("src/common/types.hh", body),
+                        "raw-new-delete"), 1);
+}
+
+TEST(Lint, DeleteThisFires)
+{
+    const std::string body = "#pragma once\n"
+                             "struct S { void f() { delete this; } };\n";
+    EXPECT_EQ(countRule(lintContent("src/common/types.hh", body),
+                        "raw-new-delete"), 1);
+}
+
+TEST(Lint, WholeSrcTreeIsClean)
+{
+    // The acceptance gate, duplicated here so a plain `ctest -R Lint`
+    // catches regressions even without the boreas_lint binary check.
+    const auto vs = lintPath(std::string(BOREAS_SRC_DIR));
+    for (const auto &v : vs)
+        ADD_FAILURE() << boreas::lint::format(v);
+}

@@ -72,8 +72,9 @@ TEST_F(SensorFixture, DelayedReadingLagsByExactlyDelaySteps)
     for (int i = 0; i < 40; ++i) {
         heatStep({&lag, &now}, 6.0);
         history.push_back(now.reading());
-        if (i >= 5)
+        if (i >= 5) {
             EXPECT_DOUBLE_EQ(lag.reading(), history[i - 5]);
+        }
     }
     // While heating, the delayed reading is strictly behind (cooler).
     EXPECT_LT(lag.reading(), now.reading());

@@ -37,8 +37,9 @@ TEST_P(SeverityMonotonicity, IncreasesWithTempAndMltd)
     SeverityModel model;
     EXPECT_GT(model.severity(t + 5.0, m), model.severity(t, m));
     EXPECT_GE(model.severity(t, m + 5.0), model.severity(t, m));
-    if (t > 45.0)
+    if (t > 45.0) {
         EXPECT_GT(model.severity(t, m + 5.0), model.severity(t, m));
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(

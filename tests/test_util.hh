@@ -7,8 +7,7 @@
  * confined to the tests that use defaults.
  */
 
-#ifndef BOREAS_TESTS_TEST_UTIL_HH
-#define BOREAS_TESTS_TEST_UTIL_HH
+#pragma once
 
 #include "boreas/pipeline.hh"
 #include "boreas/trainer.hh"
@@ -40,5 +39,3 @@ tinyTrainerConfig()
 }
 
 } // namespace boreas::test
-
-#endif // BOREAS_TESTS_TEST_UTIL_HH

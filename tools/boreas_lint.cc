@@ -1,0 +1,41 @@
+/**
+ * @file
+ * CLI for the Boreas repo linter (see tools/lint/linter.hh for the
+ * rule set). Usage:
+ *
+ *   boreas_lint <file-or-dir>...
+ *
+ * Prints one "file:line: [rule] message" per violation and exits
+ * nonzero if any were found. Registered as the `boreas_lint` ctest
+ * check over src/.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "lint/linter.hh"
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: %s <file-or-dir>...\n", argv[0]);
+        return 2;
+    }
+
+    std::vector<boreas::lint::Violation> violations;
+    for (int i = 1; i < argc; ++i) {
+        const auto v = boreas::lint::lintPath(argv[i]);
+        violations.insert(violations.end(), v.begin(), v.end());
+    }
+
+    for (const auto &v : violations)
+        std::fprintf(stderr, "%s\n", boreas::lint::format(v).c_str());
+    if (!violations.empty()) {
+        std::fprintf(stderr, "boreas_lint: %zu violation(s)\n",
+                     violations.size());
+        return 1;
+    }
+    std::printf("boreas_lint: clean\n");
+    return 0;
+}

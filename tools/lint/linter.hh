@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The Boreas repo linter: regex/scanner-level enforcement of repo
+ * invariants that the compiler cannot check (DESIGN.md §7).
+ *
+ * Rules (IDs are what `// boreas-lint: allow(<id>)` takes):
+ *
+ *   raw-random          Direct randomness (rand(), srand(), <random>
+ *                       engines, std::random_device) outside
+ *                       src/common/rng. Everything stochastic must draw
+ *                       from the seeded Rng for bit-reproducibility.
+ *   unordered-container std::unordered_map / std::unordered_set.
+ *                       Their iteration order is
+ *                       implementation-defined, which silently breaks
+ *                       ordered output and FP-accumulation
+ *                       determinism; use std::map / std::vector, or
+ *                       allow() a use that provably never iterates.
+ *   direct-stdio        printf/puts/std::cout/std::cerr outside
+ *                       src/common/logging — use boreas_inform /
+ *                       boreas_warn / panic / fatal so output is
+ *                       uniform and greppable.
+ *   header-guard        Headers must use #pragma once (and not retain
+ *                       an #ifndef guard next to it).
+ *   header-hygiene      No `using namespace` at namespace scope in
+ *                       headers.
+ *   include-style       Quoted includes must be repo-relative
+ *                       ("subdir/name.hh"): no "..", no absolute
+ *                       paths, no <boreas/...>.
+ *   raw-new-delete      Raw new/delete expressions — ownership goes
+ *                       through containers and smart pointers
+ *                       (`= delete` declarations are fine).
+ *
+ * The scanner strips comments and string literals first (preserving
+ * line structure), so rules do not fire on prose. An inline
+ * `// boreas-lint: allow(rule-id)` comment on the offending line
+ * suppresses that rule for that line.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace boreas::lint
+{
+
+/** One rule violation at a source location. */
+struct Violation
+{
+    std::string file;
+    int line = 0;
+    std::string rule;
+    std::string message;
+};
+
+/**
+ * Lint one file's contents. `path` decides rule applicability (header
+ * vs source, the src/common/rng and src/common/logging exemptions);
+ * it is not opened — `content` is the text to scan.
+ */
+std::vector<Violation> lintContent(const std::string &path,
+                                   const std::string &content);
+
+/**
+ * Lint a file or directory tree (recursing into *.hh / *.cc).
+ * Unreadable paths produce a violation rather than a crash.
+ */
+std::vector<Violation> lintPath(const std::string &root);
+
+/** Render "file:line: [rule] message". */
+std::string format(const Violation &v);
+
+} // namespace boreas::lint
