@@ -17,6 +17,7 @@
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "harness.hh"
+#include "report.hh"
 
 using namespace boreas;
 using namespace boreas::bench;
@@ -24,6 +25,7 @@ using namespace boreas::bench;
 int
 main()
 {
+    BenchReport report("ablation_delay");
     const std::vector<int> delays{0, 2, 12};
 
     TextTable table;
@@ -60,10 +62,18 @@ main()
             table.addRow({strfmt("%d us", delay * 80), m->name(),
                           TextTable::num(norm.mean(), 4),
                           std::to_string(incursions)});
+            if (delay == 12 && m->name() == std::string("ML05")) {
+                report.comparison("ML05 incursions at 960 us delay",
+                                  "0", std::to_string(incursions));
+                report.comparison(
+                    "ML05 mean freq vs 3.75 at 960 us delay", ">1.0",
+                    TextTable::num(norm.mean(), 4));
+            }
         }
     }
     std::printf("=== sensor-delay ablation (test set) ===\n");
     table.print(std::cout);
+    report.addTable("delay_ablation", table);
     std::printf("\nexpected shape: both models lose headroom as delay "
                 "grows; ML05 keeps its advantage at the paper's "
                 "960 us operating point\n");

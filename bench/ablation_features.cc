@@ -21,6 +21,7 @@
 #include "common/table.hh"
 #include "harness.hh"
 #include "ml/feature_schema.hh"
+#include "report.hh"
 
 using namespace boreas;
 using namespace boreas::bench;
@@ -28,6 +29,7 @@ using namespace boreas::bench;
 int
 main()
 {
+    BenchReport report("ablation_features");
     SimulationPipeline pipeline;
     const DatasetConfig dcfg = datasetConfigFor(benchScale());
     std::fprintf(stderr, "[bench] generating train data...\n");
@@ -61,18 +63,29 @@ main()
     std::printf("=== feature ablation (test-workload MSE) ===\n");
     TextTable table;
     table.setHeader({"variant", "features", "train MSE", "test MSE"});
+    double full_mse = 0.0, top20_mse = 0.0;
     for (const auto &v : variants) {
         const auto idx = featureIndicesOf(v.features);
         const Dataset tr = train.severity.selectFeatures(idx);
         const Dataset te = test.severity.selectFeatures(idx);
         GBTRegressor model;
         model.train(tr, GBTParams{});
+        const double test_mse = model.mse(te);
+        if (std::string(v.name) == "full-78")
+            full_mse = test_mse;
+        else if (std::string(v.name) == "top20+freq")
+            top20_mse = test_mse;
         table.addRow({v.name, std::to_string(v.features.size()),
                       TextTable::num(model.mse(tr), 5),
-                      TextTable::num(model.mse(te), 5)});
+                      TextTable::num(test_mse, 5)});
         std::fprintf(stderr, "[bench] %s done\n", v.name);
     }
     table.print(std::cout);
+    report.addTable("feature_ablation", table);
+    report.comparison("full-78 test MSE", "baseline",
+                      TextTable::num(full_mse, 5));
+    report.comparison("top20+freq test MSE", "~matches full-78",
+                      TextTable::num(top20_mse, 5));
     std::printf("\npaper shape: top-20 ~= full-78; removing "
                 "microarchitectural attributes (temp+freq only) or the "
                 "temperature telemetry degrades held-out accuracy\n");

@@ -16,6 +16,7 @@
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "harness.hh"
+#include "report.hh"
 
 using namespace boreas;
 using namespace boreas::bench;
@@ -23,6 +24,7 @@ using namespace boreas::bench;
 int
 main()
 {
+    BenchReport report("baseline_cochran_reda");
     auto ctx = buildExperimentContext();
     auto th00 = ctx->thController(0.0);
     auto cr = ctx->crController();
@@ -68,9 +70,18 @@ main()
     }
     std::printf("=== normalized average frequency (test set) ===\n");
     table.print(std::cout);
+    report.addTable("baseline_comparison", table);
     std::printf("\nmeans: TH-00 %.4f (%d incursions) | CochranReda "
                 "%.4f (%d) | ML05 %.4f (%d)\n", th_norm.mean(), th_inc,
                 cr_norm.mean(), cr_inc, ml_norm.mean(), ml_inc);
+    report.comparison("temp prediction mean abs error [C]",
+                      "small (good predictor)",
+                      TextTable::num(temp_err.mean(), 2));
+    report.comparison("ML05 mean normalized freq beats CochranReda",
+                      "yes",
+                      ml_norm.mean() > cr_norm.mean() ? "yes" : "no");
+    report.comparison("ML05 incursions", "0",
+                      std::to_string(ml_inc));
     std::printf("paper argument: severity prediction (ML05) "
                 "outperforms temperature prediction (Cochran-Reda) "
                 "under the same reliability budget\n");

@@ -17,12 +17,14 @@
 
 #include "common/table.hh"
 #include "hotspot/severity.hh"
+#include "report.hh"
 
 using namespace boreas;
 
 int
 main()
 {
+    bench::BenchReport report("fig1_severity_contours");
     SeverityModel model;
 
     std::printf("=== Fig. 1 anchor conditions ===\n");
@@ -32,8 +34,13 @@ main()
     };
     for (const Anchor &a :
          {Anchor{115.0, 0.0}, Anchor{95.0, 20.0}, Anchor{80.0, 40.0}}) {
+        const double sev = model.severity(a.t, a.m);
         std::printf("severity(%.0f C, MLTD %.0f C) = %.6f (paper: "
-                    "1.0)\n", a.t, a.m, model.severity(a.t, a.m));
+                    "1.0)\n", a.t, a.m, sev);
+        report.comparison("severity(" + TextTable::num(a.t, 0) +
+                              " C, MLTD " + TextTable::num(a.m, 0) +
+                              " C)",
+                          "1.0", TextTable::num(sev, 6));
     }
 
     std::printf("\n=== severity map: rows = temperature, cols = MLTD "
@@ -63,5 +70,6 @@ main()
                         TextTable::num(model.severity(tc, m), 4)});
     }
     contour.print(std::cout);
+    report.addTable("severity_contour", contour);
     return 0;
 }

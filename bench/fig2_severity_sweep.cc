@@ -18,6 +18,7 @@
 #include "boreas/analysis.hh"
 #include "common/table.hh"
 #include "harness.hh"
+#include "report.hh"
 
 using namespace boreas;
 using namespace boreas::bench;
@@ -25,6 +26,7 @@ using namespace boreas::bench;
 int
 main()
 {
+    BenchReport report("fig2_severity_sweep");
     SimulationPipeline pipeline;
     const auto &suite = spec2006Suite();
     std::vector<const WorkloadSpec *> all;
@@ -68,6 +70,7 @@ main()
         table.addRow(row);
     }
     table.print(std::cout);
+    report.addTable("fig2_severity_grid", table);
 
     // Shape checks against the paper.
     int safe_at_5 = 0, unsafe_at_baseline = 0;
@@ -84,5 +87,11 @@ main()
                 unsafe_at_baseline);
     std::printf("globally safe VF limit      : %.2f GHz (paper: "
                 "3.75 GHz)\n", sweep.globalLimit());
+    report.comparison("workloads safe at 5.00 GHz", "0",
+                      std::to_string(safe_at_5));
+    report.comparison("workloads unsafe at 3.75 GHz", "0",
+                      std::to_string(unsafe_at_baseline));
+    report.comparison("globally safe VF limit [GHz]", "3.75",
+                      TextTable::num(sweep.globalLimit(), 2));
     return 0;
 }

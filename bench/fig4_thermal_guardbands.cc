@@ -15,6 +15,7 @@
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "harness.hh"
+#include "report.hh"
 
 using namespace boreas;
 using namespace boreas::bench;
@@ -22,6 +23,7 @@ using namespace boreas::bench;
 int
 main()
 {
+    BenchReport report("fig4_thermal_guardbands");
     SimulationPipeline pipeline;
     const CriticalTempTable table = buildThTable(pipeline);
 
@@ -66,6 +68,7 @@ main()
             series.addRow(row);
         }
         series.print(std::cout);
+        report.addTable(std::string("fig4_trace_") + name, series);
 
         TextTable summary;
         summary.setHeader({"model", "avg GHz", "peak sev",
@@ -81,6 +84,11 @@ main()
         std::printf("\n");
         summary.print(std::cout);
         std::printf("\n");
+        report.addTable(std::string("fig4_summary_") + name, summary);
+        report.comparison(
+            std::string(name) + " TH-10 incursion steps",
+            std::string(name) == std::string("gromacs") ? ">0" : "0",
+            std::to_string(runs[2].incursionSteps()));
     }
     std::printf("paper shape: TH-00 safe on both; TH-05/TH-10 cause "
                 "incursions on gromacs but not gamess\n");

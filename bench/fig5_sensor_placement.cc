@@ -16,6 +16,7 @@
 
 #include "common/table.hh"
 #include "harness.hh"
+#include "report.hh"
 #include "sensors/placement.hh"
 
 using namespace boreas;
@@ -24,6 +25,7 @@ using namespace boreas::bench;
 int
 main()
 {
+    BenchReport report("fig5_sensor_placement");
     PipelineConfig cfg;
     cfg.sensors.delaySteps = 0; // Fig. 5 shows site temperatures
     SimulationPipeline pipeline(cfg);
@@ -49,6 +51,7 @@ main()
         series.addRow(row);
     }
     series.print(std::cout);
+    report.addTable("fig5_sensor_traces", series);
 
     // Shape metrics.
     double spread_core = 0.0;    // max spread among tsens00-03
@@ -91,6 +94,10 @@ main()
     std::printf("tsens03 reading during severity>=1: as low as %.1f C "
                 "(paper: <90-100 C while severity > 1)\n",
                 best_at_incursion);
+    report.comparison("max spread across core sensors [C]", "~20",
+                      TextTable::num(spread_core, 1));
+    report.comparison("tsens03 reading during severity>=1 [C]",
+                      "<90-100", TextTable::num(best_at_incursion, 1));
 
     // K-means placement demo (Sec. III-A): cluster the per-step peak
     // severity locations of several hot runs.
@@ -127,6 +134,8 @@ main()
                           TextTable::num(centers[c].y * 1e3, 2), unit});
     }
     placement.print(std::cout);
+    report.addTable("kmeans_placement", placement);
+    report.runHash(pipeline.runHash());
     std::printf("(hotspots cluster in the active core's execution "
                 "region, motivating tsens03's placement)\n");
     return 0;

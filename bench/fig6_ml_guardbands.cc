@@ -13,6 +13,7 @@
 
 #include "common/table.hh"
 #include "harness.hh"
+#include "report.hh"
 
 using namespace boreas;
 using namespace boreas::bench;
@@ -20,6 +21,7 @@ using namespace boreas::bench;
 int
 main()
 {
+    BenchReport report("fig6_ml_guardbands");
     auto ctx = buildExperimentContext();
     const WorkloadSpec &w = findWorkload("bzip2");
 
@@ -48,6 +50,7 @@ main()
         series.addRow(row);
     }
     series.print(std::cout);
+    report.addTable("fig6_traces", series);
 
     std::printf("\n=== summary ===\n");
     TextTable summary;
@@ -62,6 +65,11 @@ main()
                         std::to_string(runs[i].incursionSteps())});
     }
     summary.print(std::cout);
+    report.addTable("fig6_summary", summary);
+    report.comparison("ML05 peak severity", "~0.99 (below 1.0)",
+                      TextTable::num(runs[1].peakSeverity(), 3));
+    report.comparison("ML10 incursion steps", "0",
+                      std::to_string(runs[2].incursionSteps()));
     std::printf("\npaper shape: larger guardband -> lower frequency, "
                 "lower peak severity; ML05 trades off best\n");
     return 0;

@@ -19,6 +19,7 @@
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "harness.hh"
+#include "report.hh"
 
 using namespace boreas;
 using namespace boreas::bench;
@@ -26,6 +27,7 @@ using namespace boreas::bench;
 int
 main()
 {
+    BenchReport report("fig7_avg_frequency");
     auto ctx = buildExperimentContext();
 
     // One factory per model: every (workload, model) run gets its own
@@ -74,6 +76,7 @@ main()
     std::printf("=== Fig. 7: per-workload normalized average frequency "
                 "(test set) ===\n");
     table.print(std::cout);
+    report.addTable("fig7_per_workload", table);
 
     std::printf("\n=== Fig. 7 summary (mean over unseen workloads) "
                 "===\n");
@@ -84,6 +87,7 @@ main()
                         std::to_string(incursions_by_model[model])});
     }
     summary.print(std::cout);
+    report.addTable("fig7_summary", summary);
 
     const double th = norm_by_model["TH-00"].mean();
     const double ml05m = norm_by_model["ML05"].mean();
@@ -108,5 +112,19 @@ main()
                 incursions_by_model["ML05"]);
     std::printf("ML00 incursions     : %d (paper: >0, unreliable)\n",
                 incursions_by_model["ML00"]);
+
+    const auto pct = [](double frac) {
+        const std::string s = TextTable::num(frac * 100.0, 1) + "%";
+        return frac >= 0.0 ? "+" + s : s;
+    };
+    report.comparison("TH-00 over baseline", "+5.7%", pct(th - 1.0));
+    report.comparison("ML05 over TH-00", "+4.5% avg",
+                      pct(ml05m / th - 1.0));
+    report.comparison("best ML05 gain", "+9.6% on bzip2",
+                      pct(best_gain) + " on " + best_wl);
+    report.comparison("ML05 incursions", "0",
+                      std::to_string(incursions_by_model["ML05"]));
+    report.comparison("ML00 incursions", ">0 (unreliable)",
+                      std::to_string(incursions_by_model["ML00"]));
     return 0;
 }

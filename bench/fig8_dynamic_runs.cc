@@ -13,6 +13,7 @@
 
 #include "common/table.hh"
 #include "harness.hh"
+#include "report.hh"
 
 using namespace boreas;
 using namespace boreas::bench;
@@ -20,6 +21,7 @@ using namespace boreas::bench;
 int
 main()
 {
+    BenchReport report("fig8_dynamic_runs");
     auto ctx = buildExperimentContext();
 
     // All (workload, controller) runs are independent: execute the
@@ -58,6 +60,9 @@ main()
             });
         }
         series.print(std::cout);
+        report.addTable("fig8_" + w->name, series);
+        report.comparison(w->name + " ML05 incursion steps", "0",
+                          std::to_string(ml_run.incursionSteps()));
         std::printf("summary: TH-00 avg %.3f GHz (peak sev %.3f, "
                     "%d incursions) | ML05 avg %.3f GHz (peak sev "
                     "%.3f, %d incursions)\n\n",

@@ -22,6 +22,7 @@
 #include "harness.hh"
 #include "ml/cv.hh"
 #include "ml/feature_schema.hh"
+#include "report.hh"
 
 using namespace boreas;
 using namespace boreas::bench;
@@ -29,6 +30,7 @@ using namespace boreas::bench;
 int
 main()
 {
+    BenchReport report("fig9_model_size_mse");
     SimulationPipeline pipeline;
     DatasetConfig dcfg = datasetConfigFor(benchScale());
     std::fprintf(stderr, "[bench] generating CV dataset...\n");
@@ -74,6 +76,7 @@ main()
         }
     }
     table.print(std::cout);
+    report.addTable("fig9_size_vs_mse", table);
 
     std::printf("\nchosen model (Table II): 223 trees, depth 3 = "
                 "%zu bytes (< 14 KB, paper)\n",
@@ -81,5 +84,9 @@ main()
     std::printf("best CV MSE in sweep: %.5f at %zu bytes (paper "
                 "curve bottoms around its selected small model; "
                 "reported test MSE 0.0094)\n", best_mse, best_bytes);
+    report.comparison("chosen model size [bytes]", "< 14336 (14 KB)",
+                      std::to_string(static_cast<size_t>(223) * 15 * 4));
+    report.comparison("best CV MSE in sweep", "~0.0094 (test)",
+                      TextTable::num(best_mse, 5));
     return 0;
 }

@@ -19,6 +19,7 @@
 #include "common/table.hh"
 #include "harness.hh"
 #include "hotspot/events.hh"
+#include "report.hh"
 
 using namespace boreas;
 using namespace boreas::bench;
@@ -26,6 +27,7 @@ using namespace boreas::bench;
 int
 main()
 {
+    BenchReport report("hotspot_characterization");
     SimulationPipeline pipeline;
     const VFTable &vf = pipeline.vfTable();
 
@@ -72,6 +74,7 @@ main()
                       TextTable::num(peak, 3)});
     }
     table.print(std::cout);
+    report.addTable("hotspot_events", table);
 
     std::printf("\n=== onset statistics (all events with measurable "
                 "onset) ===\n");
@@ -87,5 +90,15 @@ main()
     std::printf("\npaper motivation: advanced hotspots arise at "
                 "microsecond granularity, faster than reactive "
                 "sensor+DVFS loops (Sec. I)\n");
+    report.comparison("events with measurable onset", ">0",
+                      std::to_string(with_onset));
+    report.comparison("fastest onset [us]",
+                      "microsecond scale (< 960)",
+                      TextTable::num(onsets.min() * 1e6, 0));
+    report.comparison("onsets within one control period",
+                      "majority",
+                      std::to_string(faster_than_loop) + " of " +
+                          std::to_string(with_onset));
+    report.runHash(pipeline.runHash());
     return 0;
 }

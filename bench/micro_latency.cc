@@ -8,10 +8,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "boreas/pipeline.hh"
 #include "boreas/trainer.hh"
+#include "common/table.hh"
 #include "control/boreas_controller.hh"
 #include "ml/feature_schema.hh"
+#include "report.hh"
 #include "workload/spec2006.hh"
 
 using namespace boreas;
@@ -130,4 +135,72 @@ BM_SteadyStateSolve(benchmark::State &bm)
 }
 BENCHMARK(BM_SteadyStateSolve);
 
-BENCHMARK_MAIN();
+namespace
+{
+
+/**
+ * Console reporter that additionally captures each benchmark's
+ * per-iteration real time so the run lands in BENCH_micro_latency.json.
+ */
+class CapturingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    struct Row
+    {
+        std::string name;
+        double nsPerIteration;
+    };
+
+    void ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.error_occurred)
+                continue;
+            rows.push_back({run.benchmark_name(),
+                            run.real_accumulated_time /
+                                static_cast<double>(run.iterations) *
+                                1e9});
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    std::vector<Row> rows;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    boreas::bench::BenchReport report("micro_latency");
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+
+    CapturingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    TextTable table;
+    table.setHeader({"benchmark", "real ns/iter"});
+    double predict_ns = 0.0, decide_ns = 0.0;
+    for (const auto &row : reporter.rows) {
+        table.addRow({row.name, TextTable::num(row.nsPerIteration, 1)});
+        if (row.name == "BM_GBTPrediction")
+            predict_ns = row.nsPerIteration;
+        else if (row.name == "BM_ControllerDecision")
+            decide_ns = row.nsPerIteration;
+    }
+    report.addTable("micro_latency", table);
+    if (predict_ns > 0.0) {
+        report.comparison("GBT prediction latency [ns]",
+                          "~1000 serial ops (Sec. V-E)",
+                          TextTable::num(predict_ns, 1));
+    }
+    if (decide_ns > 0.0) {
+        report.comparison("controller decision vs 960 us budget",
+                          "well under 960000 ns",
+                          TextTable::num(decide_ns, 1));
+    }
+    return 0;
+}

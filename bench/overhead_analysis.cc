@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "harness.hh"
+#include "report.hh"
 
 using namespace boreas;
 using namespace boreas::bench;
@@ -18,6 +19,7 @@ using namespace boreas::bench;
 int
 main()
 {
+    BenchReport report("overhead_analysis");
     auto ctx = buildExperimentContext();
     const GBTRegressor &model = ctx->trained.model;
 
@@ -47,5 +49,19 @@ main()
     // caches or its own scratch-pad").
     std::printf("fits in a 32 KB L1D      : %s\n",
                 model.modelBytes() <= 32 * 1024 ? "yes" : "no");
+    report.comparison("trees", "223",
+                      std::to_string(model.numTrees()));
+    report.comparison("max depth", "3",
+                      std::to_string(model.params().maxDepth));
+    report.comparison("model weights [bytes]", "< 14336 (14 KB)",
+                      std::to_string(model.modelBytes()));
+    report.comparison("comparisons per prediction", "669",
+                      std::to_string(model.comparisonsPerPrediction()));
+    report.comparison("additions per prediction", "222",
+                      std::to_string(model.additionsPerPrediction()));
+    report.comparison(
+        "total ops per prediction", "~1000 (serial)",
+        std::to_string(model.comparisonsPerPrediction() +
+                       model.additionsPerPrediction()));
     return 0;
 }

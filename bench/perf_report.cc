@@ -14,7 +14,6 @@
 
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <memory>
 #include <vector>
 
@@ -22,8 +21,10 @@
 #include "common/logging.hh"
 #include "boreas/pipeline.hh"
 #include "common/parallel.hh"
+#include "common/table.hh"
 #include "harness.hh"
 #include "ml/gbt.hh"
+#include "report.hh"
 #include "thermal/thermal_grid.hh"
 #include "workload/spec2006.hh"
 
@@ -111,6 +112,7 @@ timeTrain(const Dataset &data)
 int
 main()
 {
+    BenchReport report("parallel");
     const int threads = ThreadPool::defaultThreads();
 
     // --- Serial stencil throughput (unaffected by the pool). ---
@@ -154,20 +156,25 @@ main()
     std::printf("gbt train (60):  %.3fs serial, %.3fs threaded (%.2fx)\n",
                 train_serial, train_par, train_speedup);
 
-    std::ofstream json("BENCH_parallel.json");
-    json << "{\n"
-         << "  \"threads\": " << threads << ",\n"
-         << "  \"thermal_step_us\": " << step_us << ",\n"
-         << "  \"sweep_serial_s\": " << sweep_serial << ",\n"
-         << "  \"sweep_threaded_s\": " << sweep_par << ",\n"
-         << "  \"sweep_speedup\": " << sweep_speedup << ",\n"
-         << "  \"dataset_serial_s\": " << build_serial << ",\n"
-         << "  \"dataset_threaded_s\": " << build_par << ",\n"
-         << "  \"dataset_speedup\": " << build_speedup << ",\n"
-         << "  \"train_serial_s\": " << train_serial << ",\n"
-         << "  \"train_threaded_s\": " << train_par << ",\n"
-         << "  \"train_speedup\": " << train_speedup << "\n"
-         << "}\n";
-    std::printf("\nwrote BENCH_parallel.json\n");
+    report.config("threads", static_cast<double>(threads));
+    report.config("thermal_step_us", step_us);
+    TextTable timing;
+    timing.setHeader({"fan-out", "serial s", "threaded s", "speedup"});
+    timing.addRow({"sweep 4 runs", TextTable::num(sweep_serial, 3),
+                   TextTable::num(sweep_par, 3),
+                   TextTable::num(sweep_speedup, 2)});
+    timing.addRow({"dataset build", TextTable::num(build_serial, 3),
+                   TextTable::num(build_par, 3),
+                   TextTable::num(build_speedup, 2)});
+    timing.addRow({"gbt train 60", TextTable::num(train_serial, 3),
+                   TextTable::num(train_par, 3),
+                   TextTable::num(train_speedup, 2)});
+    report.addTable("parallel_speedups", timing);
+    report.comparison("sweep speedup at " + std::to_string(threads) +
+                          " threads",
+                      ">1 on multicore hosts",
+                      TextTable::num(sweep_speedup, 2));
+    report.comparison("gbt train speedup", ">1 on multicore hosts",
+                      TextTable::num(train_speedup, 2));
     return 0;
 }

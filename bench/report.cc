@@ -1,0 +1,136 @@
+#include "report.hh"
+
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/parallel.hh"
+#include "harness.hh"
+#include "obs/trace.hh"
+
+namespace boreas::bench
+{
+
+namespace
+{
+
+const char *
+scaleName(Scale scale)
+{
+    switch (scale) {
+    case Scale::Small:
+        return "small";
+    case Scale::Paper:
+        return "paper";
+    case Scale::Full:
+        break;
+    }
+    return "full";
+}
+
+} // namespace
+
+BenchReport::BenchReport(std::string id) : id_(std::move(id))
+{
+    tracing_ = std::getenv("BOREAS_TRACE") != nullptr;
+    obs::MetricsRegistry::global().setEnabled(true);
+    obs::MetricsRegistry::global().reset();
+    obs::TraceBuffer::global().setEnabled(tracing_);
+    obs::TraceBuffer::global().clear();
+
+    artifact_.manifest.experiment = id_;
+    artifact_.manifest.scale = scaleName(benchScale());
+    artifact_.manifest.threads = ThreadPool::global().numThreads();
+    artifact_.manifest.seed = kBenchSeed;
+    t0_ = std::chrono::steady_clock::now();
+}
+
+BenchReport::~BenchReport()
+{
+    if (!written_)
+        write();
+}
+
+void
+BenchReport::config(const std::string &key, std::string value)
+{
+    artifact_.manifest.addConfig(key, std::move(value));
+}
+
+void
+BenchReport::config(const std::string &key, double value)
+{
+    std::ostringstream oss;
+    oss.precision(12);
+    oss << value;
+    artifact_.manifest.addConfig(key, oss.str());
+}
+
+void
+BenchReport::seed(uint64_t value)
+{
+    artifact_.manifest.seed = value;
+}
+
+void
+BenchReport::runHash(uint64_t value)
+{
+    artifact_.manifest.runHash = value;
+    artifact_.manifest.hasRunHash = true;
+}
+
+void
+BenchReport::comparison(std::string quantity, std::string paper,
+                        std::string measured)
+{
+    artifact_.comparisons.push_back({std::move(quantity),
+                                     std::move(paper),
+                                     std::move(measured)});
+}
+
+void
+BenchReport::addTable(const std::string &name, const TextTable &table)
+{
+    obs::BenchSeries series;
+    series.name = name;
+    series.columns = table.header();
+    series.rows = table.rows();
+    artifact_.series.push_back(std::move(series));
+}
+
+void
+BenchReport::addSeries(obs::BenchSeries series)
+{
+    artifact_.series.push_back(std::move(series));
+}
+
+bool
+BenchReport::write()
+{
+    written_ = true;
+    artifact_.manifest.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0_)
+            .count();
+    artifact_.metrics = obs::MetricsRegistry::global().snapshot();
+
+    const std::string path = obs::benchArtifactFileName(id_);
+    bool ok = obs::writeBenchArtifactFile(artifact_, path);
+    if (ok)
+        boreas_inform("wrote %s", path.c_str());
+    else
+        boreas_warn("could not write %s", path.c_str());
+
+    if (tracing_) {
+        const std::string trace_path = "TRACE_" + id_ + ".json";
+        if (obs::writeTraceFile(trace_path))
+            boreas_inform("wrote %s (%zu events)", trace_path.c_str(),
+                          obs::TraceBuffer::global().eventCount());
+        else
+            ok = false;
+    }
+    return ok;
+}
+
+} // namespace boreas::bench

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * BenchReport: the one-liner that turns a bench main into an artifact
+ * producer. Constructing it switches the observability layer on
+ * (metrics always; tracing when BOREAS_TRACE is set) and stamps the
+ * run manifest; destruction — or an explicit write() — snapshots the
+ * metrics and drops BENCH_<id>.json (schema "boreas-bench-v1", see
+ * obs/export.hh) next to the bench's text tables, plus TRACE_<id>.json
+ * when tracing was on.
+ *
+ * Typical shape of a bench main:
+ *
+ *   BenchReport report("fig7");
+ *   ...
+ *   report.comparison("ML05 avg freq gain", "+7.3%", measured);
+ *   report.addTable("fig7", table);   // also printed as text
+ *   // report destructor writes BENCH_fig7.json
+ */
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/table.hh"
+#include "obs/export.hh"
+
+namespace boreas::bench
+{
+
+/** Collects one bench run's artifact and writes it on destruction. */
+class BenchReport
+{
+  public:
+    /**
+     * Start a report for BENCH_<id>.json. Enables the observability
+     * layer, clears any prior metrics/trace state and fills the
+     * manifest with the bench scale, thread count and default seed.
+     */
+    explicit BenchReport(std::string id);
+
+    /** Writes the artifact if write() was not called explicitly. */
+    ~BenchReport();
+
+    BenchReport(const BenchReport &) = delete;
+    BenchReport &operator=(const BenchReport &) = delete;
+
+    /** Record a free-form manifest config entry. */
+    void config(const std::string &key, std::string value);
+    void config(const std::string &key, double value);
+
+    /** Override the manifest seed (defaults to kBenchSeed). */
+    void seed(uint64_t value);
+
+    /** Record the pipeline runHash fingerprint of the headline run. */
+    void runHash(uint64_t value);
+
+    /** Add one paper-vs-measured headline row. */
+    void comparison(std::string quantity, std::string paper,
+                    std::string measured);
+
+    /** Add a printed TextTable as a named series. */
+    void addTable(const std::string &name, const TextTable &table);
+
+    /** Add a raw series. */
+    void addSeries(obs::BenchSeries series);
+
+    /**
+     * Snapshot metrics, stamp the wall time and write BENCH_<id>.json
+     * (and TRACE_<id>.json when tracing). Returns false if a file
+     * could not be written. Idempotent; the destructor skips writing
+     * after an explicit call.
+     */
+    bool write();
+
+  private:
+    std::string id_;
+    obs::BenchArtifact artifact_;
+    std::chrono::steady_clock::time_point t0_;
+    bool written_ = false;
+    bool tracing_ = false;
+};
+
+} // namespace boreas::bench

@@ -23,6 +23,7 @@
 #include "boreas/analysis.hh"
 #include "common/table.hh"
 #include "harness.hh"
+#include "report.hh"
 
 using namespace boreas;
 using namespace boreas::bench;
@@ -43,6 +44,7 @@ fmtCrit(Celsius c)
 int
 main()
 {
+    BenchReport report("sec3_critical_temps");
     std::vector<const WorkloadSpec *> all;
     for (const auto &w : spec2006Suite())
         all.push_back(&w);
@@ -87,6 +89,14 @@ main()
     std::printf("workloads with > 20 C spread: %d of 27 (paper: 13)\n",
                 vary20);
     std::printf("peak spread: %.1f C (paper: >37 C)\n", peak_var);
+    report.comparison("workloads with >=13 C sensor spread", "27 of 27",
+                      std::to_string(vary13) + " of " +
+                          std::to_string(all.size()));
+    report.comparison("workloads with >20 C sensor spread", "13 of 27",
+                      std::to_string(vary20) + " of " +
+                          std::to_string(all.size()));
+    report.comparison("peak spread [C]", ">37",
+                      TextTable::num(peak_var, 1));
 
     // ---- delay study on the best sensor (tsens03).
     std::fprintf(stderr, "[bench] delay study...\n");
@@ -117,6 +127,7 @@ main()
     std::printf("\n=== delay sensitivity (critical temp on tsens03; "
                 "'-' = never unsafe) ===\n");
     delay_table.print(std::cout);
+    report.addTable("delay_sensitivity", delay_table);
 
     // ---- the global table under a 960 us delay (Sec. III-D.2).
     const CriticalTempTable table = by_delay[2].globalTable();
@@ -129,6 +140,7 @@ main()
                              fmtCrit(table.criticalTemp[fi])});
     }
     global_table.print(std::cout);
+    report.addTable("global_crit_960us", global_table);
     std::printf("(the paper's libquantum effect: low global criticals "
                 "at high frequency cap every workload)\n");
     return 0;

@@ -20,6 +20,7 @@
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "harness.hh"
+#include "report.hh"
 
 using namespace boreas;
 using namespace boreas::bench;
@@ -27,6 +28,7 @@ using namespace boreas::bench;
 int
 main()
 {
+    BenchReport report("sec3_oracle_vs_global");
     SimulationPipeline pipeline;
     std::vector<const WorkloadSpec *> all;
     for (const auto &w : spec2006Suite())
@@ -57,6 +59,7 @@ main()
     }
     std::printf("=== Sec. III-B/C: oracle vs global VF limit ===\n");
     table.print(std::cout);
+    report.addTable("oracle_vs_global", table);
 
     std::printf("\n=== summary ===\n");
     std::printf("global VF limit                : %.2f GHz (paper: "
@@ -71,5 +74,18 @@ main()
                 *std::max_element(losses.begin(), losses.end()) * 100.0,
                 *std::max_element(boosts.begin(), boosts.end()) *
                     100.0);
+    report.comparison("global VF limit [GHz]", "3.75",
+                      TextTable::num(global, 2));
+    report.comparison("workloads optimal at the limit", "2 of 27",
+                      std::to_string(optimal_at_global) + " of " +
+                          std::to_string(sweep.workloads.size()));
+    report.comparison("median loss vs oracle [%]", "~13",
+                      TextTable::num(percentile(losses, 50.0) * 100.0,
+                                     1));
+    report.comparison(
+        "worst loss vs oracle [%]", "26",
+        TextTable::num(
+            *std::max_element(losses.begin(), losses.end()) * 100.0,
+            1));
     return 0;
 }

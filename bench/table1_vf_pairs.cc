@@ -9,12 +9,14 @@
 
 #include "common/table.hh"
 #include "power/vf_table.hh"
+#include "report.hh"
 
 using namespace boreas;
 
 int
 main()
 {
+    bench::BenchReport report("table1_vf_pairs");
     VFTable vf;
 
     std::printf("=== Table I: select VF pairs (paper anchors) ===\n");
@@ -23,6 +25,7 @@ main()
     for (const auto &[f, v] : VFTable::anchors())
         anchors.addRow({TextTable::num(f, 2), TextTable::num(v, 2)});
     anchors.print(std::cout);
+    report.addTable("table1_anchors", anchors);
 
     std::printf("\n=== evaluation grid (250 MHz steps, Sec. III-A) "
                 "===\n");
@@ -35,5 +38,9 @@ main()
                      TextTable::num(v, 3), TextTable::num(v * v * f, 3)});
     }
     grid.print(std::cout);
+    report.addTable("evaluation_grid", grid);
+    report.comparison(
+        "evaluation grid step [MHz]", "250",
+        TextTable::num((vf.frequency(1) - vf.frequency(0)) * 1e3, 0));
     return 0;
 }

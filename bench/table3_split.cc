@@ -9,6 +9,7 @@
 
 #include "common/table.hh"
 #include "ml/gbt.hh"
+#include "report.hh"
 #include "workload/spec2006.hh"
 
 using namespace boreas;
@@ -16,6 +17,7 @@ using namespace boreas;
 int
 main()
 {
+    bench::BenchReport report("table3_split");
     std::printf("=== Table II: Boreas model parameters ===\n");
     const GBTParams params; // defaults are the paper's configuration
     std::printf("Hyperparameters: alpha=%.1f, gamma=%g, max_depth=%d, "
@@ -36,10 +38,19 @@ main()
         table.addRow({"test", w->name,
                       TextTable::num(designOracleFrequency(w->name), 2)});
     table.print(std::cout);
+    report.addTable("table3_split", table);
 
     std::printf("\ntrain workloads: %zu (paper: 20)\n",
                 trainWorkloads().size());
     std::printf("test workloads:  %zu (paper: 7)\n",
                 testWorkloads().size());
+    report.config("gbt.learning_rate", params.learningRate);
+    report.config("gbt.gamma", params.gamma);
+    report.config("gbt.max_depth", double(params.maxDepth));
+    report.config("gbt.n_estimators", double(params.nEstimators));
+    report.comparison("train workloads", "20",
+                      std::to_string(trainWorkloads().size()));
+    report.comparison("test workloads", "7",
+                      std::to_string(testWorkloads().size()));
     return 0;
 }

@@ -20,6 +20,7 @@
 #include "common/table.hh"
 #include "harness.hh"
 #include "ml/feature_schema.hh"
+#include "report.hh"
 
 using namespace boreas;
 using namespace boreas::bench;
@@ -27,6 +28,7 @@ using namespace boreas::bench;
 int
 main()
 {
+    BenchReport report("table4_feature_importance");
     auto ctx = buildExperimentContext();
 
     const auto gains = ctx->trained.fullModel.featureImportance();
@@ -53,6 +55,7 @@ main()
                       in_paper ? "yes" : "no"});
     }
     table.print(std::cout);
+    report.addTable("table4_top20", table);
 
     std::printf("\n=== Sec. IV-B checks ===\n");
     std::printf("temperature_sensor_data gain : %.1f%% (paper: "
@@ -80,5 +83,14 @@ main()
     std::printf("test MSE, full 78 features   : %.5f\n", full_mse);
     std::printf("test MSE, deployed top-20    : %.5f (paper: no loss "
                 "vs full; reported 0.0094)\n", deployed_mse);
+    report.comparison("temperature_sensor_data gain", "78.1%",
+                      TextTable::num(gains[kTempFeatureIndex] * 100.0,
+                                     1) + "%");
+    report.comparison("top-20 share of total gain", "~99%",
+                      TextTable::num(top20_gain * 100.0, 1) + "%");
+    report.comparison("test MSE, deployed top-20", "0.0094",
+                      TextTable::num(deployed_mse, 5));
+    report.comparison("test MSE, full 78 features", "no loss vs top-20",
+                      TextTable::num(full_mse, 5));
     return 0;
 }

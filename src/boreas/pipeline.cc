@@ -5,6 +5,7 @@
 
 #include "common/hash.hh"
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace boreas
 {
@@ -116,6 +117,7 @@ StepRecord
 SimulationPipeline::step(GHz freq)
 {
     boreas_assert(run_ != nullptr, "step() before start()");
+    obs::MetricsRegistry::global().add("pipeline.steps");
     const Volts volts = vf_.voltage(freq);
 
     const PhaseParams phase = run_->currentPhase();
@@ -132,55 +134,74 @@ SimulationPipeline::step(GHz freq)
     rec.step = stepIndex_;
     rec.frequency = freq;
     rec.voltage = volts;
-    rec.counters = core_.step(phase, freq, config_.stepLength,
-                              run_->rng());
+    {
+        obs::ScopedTimer timer("stage.arch");
+        rec.counters = core_.step(phase, freq, config_.stepLength,
+                                  run_->rng());
+    }
 
     const std::vector<Celsius> &unit_temps = grid_.unitTemps();
-    const auto unit_power = power_.unitPower(
-        rec.counters, config_.activeCore, residual, freq, volts,
-        unit_temps, config_.stepLength);
-    rec.totalPower = PowerModel::totalPower(unit_power);
+    {
+        obs::ScopedTimer timer("stage.power");
+        const auto unit_power = power_.unitPower(
+            rec.counters, config_.activeCore, residual, freq, volts,
+            unit_temps, config_.stepLength);
+        rec.totalPower = PowerModel::totalPower(unit_power);
+        grid_.setUnitPower(unit_power);
+    }
 
-    grid_.setUnitPower(unit_power);
-    grid_.step(config_.stepLength);
+    {
+        obs::ScopedTimer timer("stage.thermal");
+        grid_.step(config_.stepLength);
+    }
 
-    sensors_.sampleAll(grid_, config_.stepLength, sensorRng_);
-    rec.sensorReadings = sensors_.readings();
-    rec.sensorTrue.reserve(sensors_.size());
-    for (size_t i = 0; i < sensors_.size(); ++i)
-        rec.sensorTrue.push_back(
-            sensors_.sensor(static_cast<int>(i)).lastTrueTemp());
+    {
+        obs::ScopedTimer timer("stage.sensors");
+        sensors_.sampleAll(grid_, config_.stepLength, sensorRng_);
+        rec.sensorReadings = sensors_.readings();
+        rec.sensorTrue.reserve(sensors_.size());
+        for (size_t i = 0; i < sensors_.size(); ++i)
+            rec.sensorTrue.push_back(
+                sensors_.sensor(static_cast<int>(i)).lastTrueTemp());
+    }
 
-    const Meters cell_size = floorplan_.dieWidth() / grid_.nx();
-    rec.severity = severity_.evaluate(grid_.siliconTemps(), grid_.nx(),
-                                      grid_.ny(), cell_size);
+    {
+        obs::ScopedTimer timer("stage.severity");
+        const Meters cell_size = floorplan_.dieWidth() / grid_.nx();
+        rec.severity = severity_.evaluate(grid_.siliconTemps(),
+                                          grid_.nx(), grid_.ny(),
+                                          cell_size);
+    }
 
     // Bitwise fingerprint of everything this step observed or
     // mutated. Fed by the determinism audit (tests compare it across
     // thread counts); cheap next to the thermal integration.
-    Fnv1a hasher;
-    hasher.add(rec.step);
-    hasher.add(rec.frequency);
-    hasher.add(rec.voltage);
-    for (double v : rec.counters.values)
-        hasher.add(v);
-    hasher.add(rec.totalPower);
-    hasher.add(rec.severity.maxSeverity);
-    hasher.add(rec.severity.argmaxCell);
-    hasher.add(rec.severity.tempAtMax);
-    hasher.add(rec.severity.mltdAtMax);
-    hasher.add(rec.severity.maxTemp);
-    hasher.add(rec.severity.maxMltd);
-    hasher.add(rec.sensorReadings);
-    hasher.add(rec.sensorTrue);
-    hasher.add(grid_.siliconTemps());
-    hasher.add(grid_.sinkTemp());
-    rec.stateHash = hasher.digest();
+    {
+        obs::ScopedTimer timer("stage.hash");
+        Fnv1a hasher;
+        hasher.add(rec.step);
+        hasher.add(rec.frequency);
+        hasher.add(rec.voltage);
+        for (double v : rec.counters.values)
+            hasher.add(v);
+        hasher.add(rec.totalPower);
+        hasher.add(rec.severity.maxSeverity);
+        hasher.add(rec.severity.argmaxCell);
+        hasher.add(rec.severity.tempAtMax);
+        hasher.add(rec.severity.mltdAtMax);
+        hasher.add(rec.severity.maxTemp);
+        hasher.add(rec.severity.maxMltd);
+        hasher.add(rec.sensorReadings);
+        hasher.add(rec.sensorTrue);
+        hasher.add(grid_.siliconTemps());
+        hasher.add(grid_.sinkTemp());
+        rec.stateHash = hasher.digest();
 
-    Fnv1a combine;
-    combine.add(runHash_);
-    combine.add(rec.stateHash);
-    runHash_ = combine.digest();
+        Fnv1a combine;
+        combine.add(runHash_);
+        combine.add(rec.stateHash);
+        runHash_ = combine.digest();
+    }
 
     run_->advance(config_.stepLength);
     ++stepIndex_;
@@ -219,6 +240,7 @@ SimulationPipeline::runWithController(const WorkloadSpec &workload,
     for (int s = 0; s < steps; ++s) {
         result.steps.push_back(step(freq));
         if ((s + 1) % kStepsPerDecision == 0 && s + 1 < steps) {
+            obs::ScopedTimer timer("stage.controller");
             DecisionContext ctx;
             ctx.currentFreq = freq;
             ctx.counters = &result.steps.back().counters;

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/iofmt.hh"
 #include "common/logging.hh"
 #include "ml/feature_schema.hh"
 
@@ -80,6 +81,7 @@ saveTrainedBoreas(const TrainedBoreas &trained, std::ostream &os)
 {
     boreas_assert(trained.model.trained(),
                   "cannot save an untrained bundle");
+    ScopedStreamPrecision precision(os);
     os << "boreas-bundle 1\n";
     os << trained.featureNames.size() << "\n";
     for (const auto &name : trained.featureNames)
@@ -106,6 +108,18 @@ loadTrainedBoreas(std::istream &is)
     out.featureNames.resize(n);
     for (auto &name : out.featureNames)
         is >> name;
+    // A bundle whose feature names drifted from the counter schema
+    // would silently feed the model the wrong telemetry columns; fail
+    // loudly at load time instead.
+    const auto &schema = fullFeatureSchema();
+    for (const auto &name : out.featureNames) {
+        const bool known = std::find(schema.begin(), schema.end(),
+                                     name) != schema.end();
+        boreas_assert(known,
+                      "bundle feature '%s' is not in the telemetry "
+                      "schema (stale or corrupt bundle?)",
+                      name.c_str());
+    }
     out.model.load(is);
     boreas_assert(out.model.numFeatures() == n,
                   "bundle model/feature mismatch");

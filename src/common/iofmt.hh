@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Stream-format RAII for serializers.
+ *
+ * Every model save() must emit doubles with max_digits10 significant
+ * digits so a save→load→save round trip is byte-identical, but the
+ * precision of the *caller's* stream is not ours to keep: leaving it
+ * modified makes serialized output depend on what happened to run
+ * earlier on the same stream (and perturbs whatever the caller prints
+ * next). ScopedStreamPrecision pins the precision for the scope of one
+ * save() and restores the previous setting on exit.
+ */
+
+#pragma once
+
+#include <ios>
+#include <limits>
+
+namespace boreas
+{
+
+/** Pin a stream's floating-point precision; restore on destruction. */
+class ScopedStreamPrecision
+{
+  public:
+    explicit ScopedStreamPrecision(
+        std::ios_base &stream,
+        std::streamsize digits = std::numeric_limits<double>::max_digits10)
+        : stream_(stream), saved_(stream.precision(digits))
+    {
+    }
+
+    ~ScopedStreamPrecision() { stream_.precision(saved_); }
+
+    ScopedStreamPrecision(const ScopedStreamPrecision &) = delete;
+    ScopedStreamPrecision &operator=(const ScopedStreamPrecision &) =
+        delete;
+
+  private:
+    std::ios_base &stream_;
+    std::streamsize saved_;
+};
+
+} // namespace boreas

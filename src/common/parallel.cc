@@ -5,6 +5,7 @@
 #include <exception>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace boreas
 {
@@ -171,11 +172,13 @@ ThreadPool::parallelFor(int64_t begin, int64_t end, int64_t grain,
     if (begin >= end)
         return;
     boreas_assert(grain >= 1, "parallelFor grain must be >= 1");
+    obs::MetricsRegistry::global().add("parallel.for.calls");
 
     // Serial fast paths: one lane, a single chunk, or nested use from
     // inside a worker (which would otherwise deadlock-prone steal the
     // pool from the outer batch).
     if (numThreads_ <= 1 || end - begin <= grain || t_in_worker) {
+        obs::MetricsRegistry::global().add("parallel.for.inline");
         for (int64_t lo = begin; lo < end; lo += grain)
             fn(lo, std::min(end, lo + grain));
         return;
@@ -187,6 +190,12 @@ ThreadPool::parallelFor(int64_t begin, int64_t end, int64_t grain,
     batch->end = end;
     batch->grain = grain;
     batch->numChunks = (end - begin + grain - 1) / grain;
+    {
+        obs::MetricsRegistry &metrics = obs::MetricsRegistry::global();
+        metrics.add("parallel.for.fanouts");
+        metrics.add("parallel.for.chunks",
+                    static_cast<uint64_t>(batch->numChunks));
+    }
 
     // One helper per lane beyond the caller, capped by the chunk count
     // (a helper that finds no chunk exits immediately anyway).

@@ -34,6 +34,15 @@ class TextTable
 
     size_t rowCount() const { return rows_.size(); }
 
+    /** Header cells (empty if none was set). */
+    const std::vector<std::string> &header() const { return header_; }
+
+    /** Data rows, in insertion order. */
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+
   private:
     std::vector<std::string> header_;
     std::vector<std::vector<std::string>> rows_;

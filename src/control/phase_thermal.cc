@@ -3,6 +3,7 @@
 #include <istream>
 #include <ostream>
 
+#include "common/iofmt.hh"
 #include "common/logging.hh"
 
 namespace boreas
@@ -156,6 +157,7 @@ void
 PhaseThermalModel::save(std::ostream &os) const
 {
     boreas_assert(trained_, "cannot save an untrained model");
+    ScopedStreamPrecision precision(os);
     os << "boreas-phase-thermal 1\n";
     os << numFreqs_ << " " << cells_.size() << "\n";
     pca_.save(os);

@@ -36,6 +36,41 @@ leaveOneGroupOutCV(const Dataset &data, const GBTParams &params,
     return result;
 }
 
+size_t
+selectBestEntry(const std::vector<GridSearchEntry> &entries, double tol)
+{
+    boreas_assert(!entries.empty(), "empty grid-search result");
+    // Worst-case GBT node count; the "smaller model" tie-break level.
+    const auto size = [](const GBTParams &p) {
+        return static_cast<long>(p.nEstimators) *
+            ((1L << (p.maxDepth + 1)) - 1);
+    };
+    // Every comparison level is tolerance-based: exact float equality
+    // would make the winner depend on bit-level noise in the fold MSEs
+    // (e.g. a different summation order at another thread count), while
+    // a one-sided `<` on stdMse silently skipped the model-size breaker
+    // for near-equal variances. "Tied" means within tol at this level;
+    // the incumbent (lower index) wins unless the candidate is better
+    // by more than tol at some level.
+    size_t best = 0;
+    for (size_t i = 1; i < entries.size(); ++i) {
+        const CVResult &cand = entries[i].cv;
+        const CVResult &top = entries[best].cv;
+        if (cand.meanMse < top.meanMse - tol) {
+            best = i;
+        } else if (std::fabs(cand.meanMse - top.meanMse) <= tol) {
+            if (cand.stdMse < top.stdMse - tol) {
+                best = i;
+            } else if (std::fabs(cand.stdMse - top.stdMse) <= tol &&
+                       size(entries[i].params) <
+                           size(entries[best].params)) {
+                best = i;
+            }
+        }
+    }
+    return best;
+}
+
 GridSearchResult
 gridSearchCV(const Dataset &data, const std::vector<GBTParams> &grid,
              int max_folds)
@@ -46,28 +81,7 @@ gridSearchCV(const Dataset &data, const std::vector<GBTParams> &grid,
         out.entries.push_back({params,
                                leaveOneGroupOutCV(data, params,
                                                   max_folds)});
-
-    out.bestIndex = 0;
-    for (size_t i = 1; i < out.entries.size(); ++i) {
-        const auto &cand = out.entries[i];
-        const auto &best = out.entries[out.bestIndex];
-        const double cm = cand.cv.meanMse;
-        const double bm = best.cv.meanMse;
-        if (cm < bm - 1e-12) {
-            out.bestIndex = i;
-        } else if (std::fabs(cm - bm) <= 1e-12) {
-            // Tie: prefer lower variance, then the smaller model.
-            const auto size = [](const GBTParams &p) {
-                return static_cast<long>(p.nEstimators) *
-                    ((1L << (p.maxDepth + 1)) - 1);
-            };
-            if (cand.cv.stdMse < best.cv.stdMse ||
-                (cand.cv.stdMse == best.cv.stdMse &&
-                 size(cand.params) < size(best.params))) {
-                out.bestIndex = i;
-            }
-        }
-    }
+    out.bestIndex = selectBestEntry(out.entries);
     return out;
 }
 

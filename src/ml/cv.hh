@@ -55,8 +55,19 @@ struct GridSearchResult
 };
 
 /**
+ * Pick the winning entry deterministically. Scores within `tol` of each
+ * other count as tied at every comparison level: lowest mean MSE, then
+ * lowest std MSE, then the smaller model (fewer total tree nodes), then
+ * the lower index. Exposed separately from gridSearchCV so the
+ * tie-breaking contract is unit-testable without training models.
+ */
+size_t selectBestEntry(const std::vector<GridSearchEntry> &entries,
+                       double tol = 1e-12);
+
+/**
  * Cross-validate every configuration in the grid and pick the one with
- * the lowest mean MSE (ties broken toward lower std, then smaller model).
+ * the lowest mean MSE (ties broken toward lower std, then smaller model,
+ * then lower index; see selectBestEntry).
  */
 GridSearchResult gridSearchCV(const Dataset &data,
                               const std::vector<GBTParams> &grid,

@@ -6,9 +6,11 @@
 #include <ostream>
 
 #include "common/checked.hh"
+#include "common/iofmt.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
+#include "obs/trace.hh"
 
 namespace boreas
 {
@@ -62,6 +64,7 @@ struct BinnedData
 BinnedData
 binFeatures(const Dataset &data, int max_bins)
 {
+    obs::ScopedTimer timer("gbt.bin");
     BinnedData b;
     b.numRows = data.numRows();
     b.numFeatures = data.numFeatures();
@@ -228,11 +231,14 @@ GBTRegressor::train(const Dataset &data, const GBTParams &params)
                     }
                 }
             };
-            if (wide) {
-                ThreadPool::global().parallelFor(
-                    0, static_cast<int64_t>(nf), 1, build_hist);
-            } else {
-                build_hist(0, static_cast<int64_t>(nf));
+            {
+                obs::ScopedTimer timer("gbt.histogram");
+                if (wide) {
+                    ThreadPool::global().parallelFor(
+                        0, static_cast<int64_t>(nf), 1, build_hist);
+                } else {
+                    build_hist(0, static_cast<int64_t>(nf));
+                }
             }
 
             // Best split scan, fanned out over features. Each chunk
@@ -276,11 +282,14 @@ GBTRegressor::train(const Dataset &data, const GBTParams &params)
                     cand[f] = best;
                 }
             };
-            if (wide) {
-                ThreadPool::global().parallelFor(
-                    0, static_cast<int64_t>(nf), 1, scan_features);
-            } else {
-                scan_features(0, static_cast<int64_t>(nf));
+            {
+                obs::ScopedTimer timer("gbt.split");
+                if (wide) {
+                    ThreadPool::global().parallelFor(
+                        0, static_cast<int64_t>(nf), 1, scan_features);
+                } else {
+                    scan_features(0, static_cast<int64_t>(nf));
+                }
             }
             double best_gain = 0.0;
             int best_feature = -1;
@@ -326,14 +335,17 @@ GBTRegressor::train(const Dataset &data, const GBTParams &params)
 
         // Update running predictions with the shrunk tree output
         // (independent per row; fanned out for large datasets).
-        ThreadPool::global().parallelFor(
-            0, static_cast<int64_t>(n), 4096,
-            [&](int64_t lo, int64_t hi) {
-                for (int64_t i = lo; i < hi; ++i) {
-                    pred[i] += params.learningRate *
-                        tree.predict(data.row(i));
-                }
-            });
+        {
+            obs::ScopedTimer timer("gbt.predict");
+            ThreadPool::global().parallelFor(
+                0, static_cast<int64_t>(n), 4096,
+                [&](int64_t lo, int64_t hi) {
+                    for (int64_t i = lo; i < hi; ++i) {
+                        pred[i] += params.learningRate *
+                            tree.predict(data.row(i));
+                    }
+                });
+        }
 
         trees_.push_back(std::move(tree));
     }
@@ -382,6 +394,7 @@ GBTRegressor::predictAll(const Dataset &data) const
 {
     boreas_assert(data.numFeatures() == numFeatures_,
                   "dataset feature count mismatch");
+    obs::ScopedTimer timer("gbt.predict");
     std::vector<double> out(data.numRows());
     ThreadPool::global().parallelFor(
         0, static_cast<int64_t>(data.numRows()), 4096,
@@ -447,8 +460,9 @@ void
 GBTRegressor::save(std::ostream &os) const
 {
     // Full round-trip precision: thresholds decide tree paths, so any
-    // rounding can flip predictions.
-    os.precision(17);
+    // rounding can flip predictions. Scoped so the caller's stream
+    // format is left untouched.
+    ScopedStreamPrecision precision(os);
     os << "boreas-gbt 1\n";
     os << params_.learningRate << " " << params_.gamma << " "
        << params_.maxDepth << " " << params_.nEstimators << " "

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/iofmt.hh"
 #include "common/logging.hh"
 
 namespace boreas
@@ -138,7 +139,7 @@ kmeans(const std::vector<double> &x, size_t dim, size_t k, Rng &rng,
 void
 KMeansResult::save(std::ostream &os) const
 {
-    os.precision(17);
+    ScopedStreamPrecision precision(os);
     os << "boreas-kmeans 1\n";
     os << dim << " " << k() << "\n";
     for (double v : centroids)

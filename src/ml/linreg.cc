@@ -3,6 +3,7 @@
 #include <istream>
 #include <ostream>
 
+#include "common/iofmt.hh"
 #include "common/logging.hh"
 #include "common/matrix.hh"
 
@@ -90,7 +91,7 @@ LinearRegression::mse(const Dataset &data) const
 void
 LinearRegression::save(std::ostream &os) const
 {
-    os.precision(17);
+    ScopedStreamPrecision precision(os);
     os << "boreas-linreg 1\n";
     os << weights_.size() << " " << intercept_ << "\n";
     for (double w : weights_)

@@ -5,6 +5,7 @@
 
 #include <cmath>
 
+#include "common/iofmt.hh"
 #include "common/logging.hh"
 
 namespace boreas
@@ -113,7 +114,7 @@ PCA::transformAll(const std::vector<double> &x) const
 void
 PCA::save(std::ostream &os) const
 {
-    os.precision(17);
+    ScopedStreamPrecision precision(os);
     os << "boreas-pca 1\n";
     const size_t d = mean_.size();
     const size_t k = components_.rows();

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * RunManifest: the who/what/how of one experiment run, embedded in
+ * every BENCH_<id>.json artifact (DESIGN.md §8) so a measured number
+ * can always be traced back to the exact configuration, seed, thread
+ * count and pipeline state fingerprint that produced it.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace boreas::obs
+{
+
+/** Identity and provenance of one experiment run. */
+struct RunManifest
+{
+    /** Experiment id (the <id> of BENCH_<id>.json). */
+    std::string experiment;
+    /** Bench scale ("small" / "full" / "paper"), "" when not scaled. */
+    std::string scale;
+    /** Parallel lanes the run was executed with. */
+    int threads = 1;
+    /** Base RNG seed of the run. */
+    uint64_t seed = 0;
+    /** Pipeline runHash fingerprint (valid when hasRunHash). */
+    uint64_t runHash = 0;
+    bool hasRunHash = false;
+    /** Wall-clock duration of the whole bench, in seconds. */
+    double wallSeconds = 0.0;
+    /** Free-form configuration key/values, emitted in insertion order. */
+    std::vector<std::pair<std::string, std::string>> config;
+
+    void
+    addConfig(std::string key, std::string value)
+    {
+        config.emplace_back(std::move(key), std::move(value));
+    }
+};
+
+} // namespace boreas::obs

@@ -1,0 +1,165 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <ostream>
+
+namespace boreas::obs
+{
+
+namespace
+{
+
+/** Per-shard cap; ~1M events is minutes of fully-traced simulation. */
+constexpr size_t kMaxEventsPerShard = 1u << 20;
+
+std::chrono::steady_clock::time_point
+traceOrigin()
+{
+    static const auto origin = std::chrono::steady_clock::now();
+    return origin;
+}
+
+} // namespace
+
+TraceBuffer &
+TraceBuffer::global()
+{
+    static TraceBuffer buffer;
+    return buffer;
+}
+
+double
+TraceBuffer::nowUs()
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - traceOrigin())
+        .count();
+}
+
+TraceBuffer::Shard &
+TraceBuffer::localShard()
+{
+    static thread_local Shard *tls = nullptr;
+    if (tls == nullptr) {
+        auto shard = std::make_unique<Shard>();
+        tls = shard.get();
+        std::lock_guard<std::mutex> lock(mutex_);
+        shard->tid = static_cast<int>(shards_.size());
+        shards_.push_back(std::move(shard));
+    }
+    return *tls;
+}
+
+void
+TraceBuffer::record(const char *name, double start_us,
+                    double duration_us)
+{
+    if (!enabled())
+        return;
+    Shard &shard = localShard();
+    if (shard.events.size() >= kMaxEventsPerShard) {
+        ++shard.dropped;
+        return;
+    }
+    shard.events.push_back({name, start_us, duration_us, shard.tid});
+}
+
+size_t
+TraceBuffer::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t n = 0;
+    for (const auto &shard : shards_)
+        n += shard->events.size();
+    return n;
+}
+
+size_t
+TraceBuffer::droppedEvents() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t n = 0;
+    for (const auto &shard : shards_)
+        n += shard->dropped;
+    return n;
+}
+
+void
+TraceBuffer::writeJson(std::ostream &os) const
+{
+    std::vector<TraceEvent> events;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &shard : shards_)
+            events.insert(events.end(), shard->events.begin(),
+                          shard->events.end());
+    }
+    std::sort(events.begin(), events.end(),
+              [](const TraceEvent &a, const TraceEvent &b) {
+                  if (a.startUs != b.startUs)
+                      return a.startUs < b.startUs;
+                  const int byName = std::strcmp(a.name, b.name);
+                  if (byName != 0)
+                      return byName < 0;
+                  return a.tid < b.tid;
+              });
+
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const TraceEvent &e : events) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n{\"name\":\"" << e.name
+           << "\",\"cat\":\"boreas\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+           << e.tid << ",\"ts\":" << e.startUs
+           << ",\"dur\":" << e.durationUs << "}";
+    }
+    os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void
+TraceBuffer::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &shard : shards_) {
+        shard->events.clear();
+        shard->dropped = 0;
+    }
+}
+
+void
+ScopedTimer::finish()
+{
+    const auto end = std::chrono::steady_clock::now();
+    const double us =
+        std::chrono::duration<double, std::micro>(end - start_).count();
+    MetricsRegistry &metrics = MetricsRegistry::global();
+    if (metrics.enabled())
+        metrics.observe(name_, us);
+    TraceBuffer &trace = TraceBuffer::global();
+    if (trace.enabled()) {
+        const double end_us =
+            std::chrono::duration<double, std::micro>(end -
+                                                      traceOrigin())
+                .count();
+        trace.record(name_, end_us - us, us);
+    }
+}
+
+void
+setEnabled(bool on)
+{
+    MetricsRegistry::global().setEnabled(on);
+    TraceBuffer::global().setEnabled(on);
+}
+
+bool
+enabled()
+{
+    return MetricsRegistry::global().enabled() ||
+        TraceBuffer::global().enabled();
+}
+
+} // namespace boreas::obs

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Scoped stage timers and a chrome://tracing-compatible event buffer
+ * (DESIGN.md §8).
+ *
+ * ScopedTimer is the one instrumentation primitive the simulator's hot
+ * paths use: constructed on a stage name, it does nothing unless the
+ * observability layer is enabled; when enabled it feeds the stage's
+ * duration into the metrics registry (histogram, microseconds) and —
+ * if tracing is also on — appends a complete ("ph":"X") event to the
+ * TraceBuffer. Load the written JSON into chrome://tracing or Perfetto
+ * to see the per-thread stage timeline.
+ *
+ * Like the metrics registry, the buffer is sharded per thread (no lock
+ * on the record path) and may only be drained/cleared outside parallel
+ * regions. Events never influence simulation state.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hh"
+
+namespace boreas::obs
+{
+
+/** One complete trace event (microseconds since process start). */
+struct TraceEvent
+{
+    const char *name = nullptr; ///< string literal owned by the caller
+    double startUs = 0.0;
+    double durationUs = 0.0;
+    int tid = 0; ///< shard index, stable per thread
+};
+
+/** Sharded event buffer; use the process-wide global() instance. */
+class TraceBuffer
+{
+  public:
+    static TraceBuffer &global();
+
+    void setEnabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Append one complete event (no-op while disabled). `name` must be
+     * a string literal (it is stored by pointer). Each shard is capped;
+     * overflow increments droppedEvents() instead of growing without
+     * bound.
+     */
+    void record(const char *name, double start_us, double duration_us);
+
+    /** Events across all shards. Call outside parallel regions. */
+    size_t eventCount() const;
+
+    /** Events dropped to the per-shard cap since the last clear(). */
+    size_t droppedEvents() const;
+
+    /**
+     * Write the chrome://tracing JSON object. Events are sorted by
+     * (start, name, tid) so the output order is reproducible for
+     * identical timings. Call outside parallel regions.
+     */
+    void writeJson(std::ostream &os) const;
+
+    /** Drop all buffered events. Call outside parallel regions. */
+    void clear();
+
+    /** Microseconds elapsed since the process-wide trace origin. */
+    static double nowUs();
+
+  private:
+    struct Shard
+    {
+        std::vector<TraceEvent> events;
+        uint64_t dropped = 0;
+        int tid = 0;
+    };
+
+    Shard &localShard();
+
+    mutable std::mutex mutex_; ///< guards the shard list only
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::atomic<bool> enabled_{false};
+};
+
+/**
+ * RAII stage timer: times its scope and reports to the metrics
+ * registry (histogram `name`, in microseconds) and the trace buffer.
+ * Costs one relaxed load when the layer is disabled.
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(const char *name)
+    {
+        if (MetricsRegistry::global().enabled() ||
+            TraceBuffer::global().enabled()) {
+            name_ = name;
+            start_ = std::chrono::steady_clock::now();
+        }
+    }
+
+    ~ScopedTimer()
+    {
+        if (name_ != nullptr)
+            finish();
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    void finish();
+
+    const char *name_ = nullptr;
+    std::chrono::steady_clock::time_point start_{};
+};
+
+/**
+ * Master switch: flips metrics and tracing together. Benches enable it
+ * on startup (bench/report.hh); unit tests toggle it directly.
+ */
+void setEnabled(bool on);
+
+/** True when either metrics or tracing is collecting. */
+bool enabled();
+
+} // namespace boreas::obs

@@ -13,7 +13,14 @@ ThermalSensor::ThermalSensor(std::string name, Point location,
     : name_(std::move(name)), location_(location), params_(params)
 {
     boreas_assert(params_.delaySteps >= 0, "negative sensor delay");
+    // A fresh sensor starts with a full ambient-prefilled history, the
+    // same state reset() establishes. Leaving the history logically
+    // empty would let reading() clamp its look-back to the few samples
+    // taken so far and report temperatures *newer* than delaySteps
+    // during warm-up — an under-delay the controller never sees on
+    // silicon, where the sensor chain latency exists from power-on.
     history_.assign(static_cast<size_t>(params_.delaySteps) + 1, kAmbient);
+    filled_ = history_.size();
 }
 
 void

@@ -1,0 +1,42 @@
+// Fixture for the raw-file-output rule: every direct file-writing
+// primitive fires; the allow() marker and comment/string mentions do
+// not.
+#include <cstdio>
+#include <fstream>
+
+void
+bad_ofstream()
+{
+    std::ofstream out("artifact.json"); // fires
+    out << 1;
+}
+
+void
+bad_fstream()
+{
+    std::fstream io("scratch.bin"); // fires
+}
+
+void
+bad_fopen()
+{
+    FILE *f = fopen("raw.txt", "w"); // fires
+    if (f)
+        fclose(f);
+}
+
+void
+bad_freopen()
+{
+    freopen("redirect.log", "w", stdout); // fires
+}
+
+void
+allowed_ofstream()
+{
+    // boreas-lint: allow(raw-file-output)
+    std::ofstream out("exempted.json");
+}
+
+// std::ofstream fopen( in a comment must not fire.
+inline const char *mention = "std::ofstream fopen(";

@@ -19,6 +19,8 @@
 #include "common/hash.hh"
 #include "common/parallel.hh"
 #include "ml/gbt.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "test_util.hh"
 #include "workload/spec2006.hh"
 
@@ -156,6 +158,41 @@ TEST(DeterminismAudit, RunHashReproducesForSameSeed)
     const uint64_t second = pipeline.runHash();
 
     EXPECT_EQ(first, second);
+}
+
+TEST(DeterminismAudit, RunHashIdenticalWithObsOnAndOff)
+{
+    // The observability layer (src/obs) reads simulator state but must
+    // never feed it: enabling metrics + tracing cannot move a single
+    // bit of any state hash, at any thread count.
+    GlobalPoolGuard guard;
+    struct ObsOffGuard
+    {
+        ~ObsOffGuard()
+        {
+            obs::setEnabled(false);
+            obs::MetricsRegistry::global().reset();
+            obs::TraceBuffer::global().clear();
+        }
+    } obs_guard;
+
+    for (int threads : {1, 8}) {
+        ThreadPool::resetGlobal(threads);
+
+        obs::setEnabled(false);
+        const SweepHashes off = sweepHashes();
+
+        obs::setEnabled(true);
+        const SweepHashes on = sweepHashes();
+        obs::setEnabled(false);
+
+        ASSERT_EQ(off.runHashes, on.runHashes)
+            << "observability perturbed the run hash at " << threads
+            << " thread(s)";
+        ASSERT_EQ(off.stepHashes, on.stepHashes)
+            << "observability perturbed a step hash at " << threads
+            << " thread(s)";
+    }
 }
 
 TEST(DeterminismAudit, ParallelGBTTrainingIsBitwiseDeterministic)

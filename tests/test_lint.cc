@@ -93,6 +93,23 @@ TEST(Lint, DirectStdioExemptInLoggingModule)
                         "direct-stdio"), 1);
 }
 
+TEST(Lint, RawFileOutputFires)
+{
+    const auto vs = lintFixture("bad_file_output.cc");
+    EXPECT_EQ(countRule(vs, "raw-file-output"), 4)
+        << "ofstream, fstream, fopen and freopen each fire; the "
+        "allow() line and comment/string mentions must not";
+}
+
+TEST(Lint, RawFileOutputExemptInExportSink)
+{
+    const std::string body = "#include <fstream>\n"
+                             "std::ofstream out(\"BENCH_x.json\");\n";
+    EXPECT_TRUE(lintContent("src/obs/export.cc", body).empty());
+    EXPECT_EQ(countRule(lintContent("src/boreas/pipeline.cc", body),
+                        "raw-file-output"), 1);
+}
+
 TEST(Lint, RawNewDeleteFires)
 {
     const auto vs = lintFixture("bad_new_delete.cc");

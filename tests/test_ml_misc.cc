@@ -67,6 +67,74 @@ TEST(CV, GridSearchPrefersBetterConfig)
     EXPECT_LT(res.bestMse(), res.entries[0].cv.meanMse);
 }
 
+namespace
+{
+
+GridSearchEntry
+entryOf(int trees, int depth, double mean, double std_mse)
+{
+    GridSearchEntry e;
+    e.params.nEstimators = trees;
+    e.params.maxDepth = depth;
+    e.cv.meanMse = mean;
+    e.cv.stdMse = std_mse;
+    return e;
+}
+
+} // namespace
+
+TEST(CV, SelectBestEntryTreatsSubTolScoresAsTied)
+{
+    // A noise-level std difference (1e-15) must NOT outweigh a large
+    // model-size difference: the 5-tree model at index 0 wins even
+    // though the 400-tree model's std is infinitesimally lower.
+    const std::vector<GridSearchEntry> entries{
+        entryOf(5, 2, 1.0, 0.5 + 1e-15),
+        entryOf(400, 6, 1.0, 0.5),
+    };
+    EXPECT_EQ(selectBestEntry(entries), 0u);
+}
+
+TEST(CV, SelectBestEntryPrefersLowerVarianceBeyondTol)
+{
+    // A real std gap (beyond tol) still decides before model size.
+    const std::vector<GridSearchEntry> entries{
+        entryOf(5, 2, 1.0, 0.6),
+        entryOf(400, 6, 1.0, 0.5),
+    };
+    EXPECT_EQ(selectBestEntry(entries), 1u);
+}
+
+TEST(CV, SelectBestEntryPrefersSmallerModelOnTie)
+{
+    const std::vector<GridSearchEntry> entries{
+        entryOf(400, 6, 1.0, 0.5),
+        entryOf(223, 3, 1.0, 0.5),
+        entryOf(5, 2, 1.0, 0.5),
+    };
+    EXPECT_EQ(selectBestEntry(entries), 2u);
+}
+
+TEST(CV, SelectBestEntryPinsLowerIndexOnFullTie)
+{
+    const std::vector<GridSearchEntry> entries{
+        entryOf(10, 3, 1.0, 0.5),
+        entryOf(10, 3, 1.0, 0.5),
+        entryOf(10, 3, 1.0, 0.5),
+    };
+    EXPECT_EQ(selectBestEntry(entries), 0u);
+}
+
+TEST(CV, SelectBestEntryMeanStillDominates)
+{
+    // A mean gap beyond tol beats any std/size advantage.
+    const std::vector<GridSearchEntry> entries{
+        entryOf(5, 2, 1.001, 0.0),
+        entryOf(400, 6, 1.0, 10.0),
+    };
+    EXPECT_EQ(selectBestEntry(entries), 1u);
+}
+
 TEST(LinearRegression, ExactOnNoiselessLinearData)
 {
     Dataset d({"x0", "x1"});

@@ -80,14 +80,56 @@ TEST_F(SensorFixture, DelayedReadingLagsByExactlyDelaySteps)
     EXPECT_LT(lag.reading(), now.reading());
 }
 
-TEST_F(SensorFixture, DelayClampsToOldestBeforeWarmup)
+// Regression (sensor warm-up under-delay): a freshly constructed
+// sensor must honor its full delay from the first sample on. The old
+// code left the prefilled history marked empty, so reading() clamped
+// its look-back to the samples taken so far and a 960 µs-delay sensor
+// (12 telemetry steps at 80 µs) returned the *current* temperature on
+// step one.
+TEST_F(SensorFixture, FreshSensorNeverUnderDelays)
+{
+    SensorParams params;
+    params.delaySteps = 12; // 960 µs at the 80 µs telemetry step
+    ThermalSensor lag("lag", site, params);
+    ThermalSensor now("now", site, SensorParams{.delaySteps = 0});
+
+    std::vector<Celsius> history;
+    for (int i = 0; i < 40; ++i) {
+        heatStep({&lag, &now}, 6.0);
+        history.push_back(now.reading());
+        if (i < 12) {
+            // Nothing younger than delaySteps may surface: the sensor
+            // still reports its power-on (ambient) history.
+            EXPECT_DOUBLE_EQ(lag.reading(), kAmbient) << "step " << i;
+        } else {
+            EXPECT_DOUBLE_EQ(lag.reading(), history[i - 12])
+                << "step " << i;
+        }
+        // The reading is never newer than the delayed sample (the
+        // true temperature rises monotonically under constant power).
+        EXPECT_LE(lag.reading(),
+                  i >= 12 ? history[i - 12] : kAmbient);
+    }
+}
+
+// Construction and reset(kAmbient) are now the same state.
+TEST_F(SensorFixture, FreshSensorMatchesAmbientReset)
 {
     SensorParams params;
     params.delaySteps = 10;
-    ThermalSensor s("s", site, params);
-    heatStep({&s}, 6.0);
-    // Only one sample exists; the reading is that sample.
-    EXPECT_DOUBLE_EQ(s.reading(), s.lastTrueTemp());
+    ThermalSensor fresh("fresh", site, params);
+    ThermalSensor resetted("reset", site, params);
+    resetted.reset(kAmbient);
+    Rng rng_a(7), rng_b(7);
+    std::vector<Watts> power(fp.numUnits(), 0.0);
+    power[alu] = 6.0;
+    grid.setUnitPower(power);
+    for (int i = 0; i < 25; ++i) {
+        grid.step(80e-6);
+        fresh.sample(grid, 80e-6, rng_a);
+        resetted.sample(grid, 80e-6, rng_b);
+        EXPECT_DOUBLE_EQ(fresh.reading(), resetted.reading());
+    }
 }
 
 TEST_F(SensorFixture, FilterSmoothsSteps)

@@ -177,10 +177,81 @@ TEST(Serialization, TrainedBundleRoundTrip)
     }
 }
 
+namespace
+{
+
+/** Small but fully trained bundle for the fidelity tests below. */
+TrainedBoreas
+tinyBundle()
+{
+    TrainedBoreas bundle;
+    bundle.featureNames = {"temperature_sensor_data", "frequency"};
+    Dataset d(bundle.featureNames);
+    Rng rng(11);
+    for (int i = 0; i < 400; ++i) {
+        const double t = rng.uniform(45.0, 110.0);
+        const double f = 2.0 + 0.25 * rng.uniformInt(0, 12);
+        d.addRow({t, f}, (t - 45.0) / 70.0 + 0.05 * (f - 3.75), i % 3);
+    }
+    bundle.model.train(d, GBTParams{.nEstimators = 30});
+    Rng prng(12);
+    bundle.phaseModel.train(syntheticSamples(800, 13), 2, 2, 4, prng);
+    return bundle;
+}
+
+} // namespace
+
+TEST(Serialization, SaveLoadSaveIsByteIdentical)
+{
+    // The thresholds/leaves are doubles produced by training; a lossy
+    // text round trip would drift on re-save. ScopedStreamPrecision
+    // (max_digits10) makes save -> load -> save a fixed point.
+    const TrainedBoreas bundle = tinyBundle();
+
+    std::stringstream first;
+    saveTrainedBoreas(bundle, first);
+    std::stringstream replay(first.str());
+    const TrainedBoreas loaded = loadTrainedBoreas(replay);
+    std::stringstream second;
+    saveTrainedBoreas(loaded, second);
+
+    EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(Serialization, SaveRestoresCallerStreamPrecision)
+{
+    const TrainedBoreas bundle = tinyBundle();
+    std::stringstream buf;
+    buf.precision(3);
+    saveTrainedBoreas(bundle, buf);
+    EXPECT_EQ(buf.precision(), 3);
+    buf << 0.123456789;
+    const std::string tail = buf.str();
+    EXPECT_NE(tail.find("0.123"), std::string::npos);
+    EXPECT_EQ(tail.find("0.1234"), std::string::npos);
+}
+
 TEST(SerializationDeathTest, BundleRejectsGarbage)
 {
     std::stringstream buf("nope 1");
     EXPECT_DEATH(loadTrainedBoreas(buf), "bad bundle");
+}
+
+TEST(SerializationDeathTest, BundleRejectsUnknownFeatureName)
+{
+    // A bundle whose feature list names telemetry that is not in the
+    // schema is stale or corrupt; loading it must panic instead of
+    // silently feeding the model the wrong attributes.
+    const TrainedBoreas bundle = tinyBundle();
+    std::stringstream buf;
+    saveTrainedBoreas(bundle, buf);
+    std::string text = buf.str();
+    const auto pos = text.find("temperature_sensor_data");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, std::string("temperature_sensor_data").size(),
+                 "temperature_sensor_dataX");
+    std::stringstream bad(text);
+    EXPECT_DEATH(loadTrainedBoreas(bad), "not in the telemetry schema");
 }
 
 TEST(SerializationDeathTest, UntrainedBundleRefusesToSave)

@@ -48,6 +48,14 @@ isLoggingModule(const std::string &path)
     return pathContains(path, "common/logging");
 }
 
+/** The only module allowed to open files for writing: the artifact
+ *  sink all BENCH_/TRACE_ output is routed through. */
+bool
+isExportSink(const std::string &path)
+{
+    return pathContains(path, "obs/export");
+}
+
 /**
  * One physical line split into the code part (comments and literal
  * bodies blanked out) and the comment part (for allow() markers).
@@ -220,6 +228,12 @@ lineRules()
          "direct stdio outside src/common/logging; use boreas_inform / "
          "boreas_warn / boreas_panic / boreas_fatal",
          false, isLoggingModule},
+        {"raw-file-output",
+         std::regex(R"((\bstd::ofstream\b|\bstd::fstream\b|\bstd::filebuf\b|(^|[^\w:.>])fopen\s*\(|(^|[^\w:.>])freopen\s*\())"),
+         "file output outside src/obs/export; route artifacts through "
+         "the obs export sink so every file the simulator writes has "
+         "one auditable schema",
+         false, isExportSink},
         {"raw-new-delete",
          std::regex(R"((^|[^\w.:>])new\s+[A-Za-z_(]|(^|[^\w.:>=]|[^=] )delete\s*(\[\s*\])?\s+[A-Za-z_(*]|(^|[^\w.:>])delete\s+this\b)"),
          "raw new/delete; own memory via containers or smart pointers",
