@@ -26,6 +26,23 @@ benchScale()
                  env);
 }
 
+ThermalSolverKind
+benchThermalSolver()
+{
+    const char *env = std::getenv("BOREAS_THERMAL_SOLVER");
+    if (env == nullptr)
+        return ThermalSolverKind::Spectral;
+    return parseThermalSolverName(env);
+}
+
+PipelineConfig
+benchPipelineConfig()
+{
+    PipelineConfig config;
+    config.thermal.solver = benchThermalSolver();
+    return config;
+}
+
 DatasetConfig
 datasetConfigFor(Scale scale)
 {
@@ -79,13 +96,14 @@ ExperimentContext::crController() const
 std::unique_ptr<ExperimentContext>
 buildExperimentContext()
 {
-    auto ctx = std::make_unique<ExperimentContext>();
+    auto ctx = std::make_unique<ExperimentContext>(benchPipelineConfig());
 
     const Scale scale = benchScale();
     std::fprintf(stderr,
-                 "[bench] training Boreas (scale=%s)...\n",
+                 "[bench] training Boreas (scale=%s, thermal=%s)...\n",
                  scale == Scale::Small ? "small"
-                 : scale == Scale::Paper ? "paper" : "full");
+                 : scale == Scale::Paper ? "paper" : "full",
+                 thermalSolverName(benchThermalSolver()));
 
     TrainerConfig tcfg;
     tcfg.data = datasetConfigFor(scale);

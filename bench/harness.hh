@@ -40,6 +40,18 @@ enum class Scale
 
 Scale benchScale();
 
+/**
+ * Thermal integrator the benches run, selected via the environment
+ * variable BOREAS_THERMAL_SOLVER ("explicit" / "spectral" /
+ * "surrogate"). Defaults to the spectral fast path — the cheapest way
+ * to produce every figure; set "explicit" to reproduce the reference
+ * integrator's bit-exact trajectories.
+ */
+ThermalSolverKind benchThermalSolver();
+
+/** The default bench PipelineConfig with benchThermalSolver() applied. */
+PipelineConfig benchPipelineConfig();
+
 /** Seed shared by all benches so figures are cross-consistent. */
 constexpr uint64_t kBenchSeed = 2023;
 
@@ -49,6 +61,12 @@ DatasetConfig datasetConfigFor(Scale scale);
 /** Everything the evaluation benches share. */
 struct ExperimentContext
 {
+    ExperimentContext() = default;
+    explicit ExperimentContext(const PipelineConfig &config)
+        : pipeline(config)
+    {
+    }
+
     SimulationPipeline pipeline;
     TrainedBoreas trained;
     CriticalTempTable thTable;          ///< train-set global criticals

@@ -74,6 +74,12 @@ BenchReport::seed(uint64_t value)
 }
 
 void
+BenchReport::thermalSolver(const std::string &name)
+{
+    artifact_.manifest.thermalSolver = name;
+}
+
+void
 BenchReport::runHash(uint64_t value)
 {
     artifact_.manifest.runHash = value;

@@ -53,6 +53,9 @@ class BenchReport
     /** Override the manifest seed (defaults to kBenchSeed). */
     void seed(uint64_t value);
 
+    /** Record which thermal integrator the headline runs used. */
+    void thermalSolver(const std::string &name);
+
     /** Record the pipeline runHash fingerprint of the headline run. */
     void runHash(uint64_t value);
 

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * 2-D DCT-II plan for uniform Neumann grids (DESIGN.md §9).
+ *
+ * The spectral thermal solver diagonalizes the 5-point Laplacian with
+ * half-sample reflective (Neumann) boundaries. The DCT-II basis
+ *
+ *   phi_k(i) = cos(pi k (2i + 1) / (2n))
+ *
+ * satisfies phi_k(-1) = phi_k(0) and phi_k(n) = phi_k(n-1), which is
+ * exactly the "missing neighbor omitted" boundary rule of the explicit
+ * stencil, so the transform converts the lateral coupling into a
+ * per-mode multiply by -laplacianEigenvalue().
+ *
+ * Conventions (unnormalized DCT-II forward):
+ *
+ *   modes[kx*ny + ky] = sum_{x,y} field[y*nx + x]
+ *                       * cos(pi kx (2x+1) / (2 nx))
+ *                       * cos(pi ky (2y+1) / (2 ny))
+ *
+ * so mode (0,0) is the plain field sum — the quantity the lumped-sink
+ * coupling needs. inverse() applies the matching scaled DCT-III so that
+ * inverse(forward(f)) == f up to roundoff.
+ *
+ * Power-of-two axis lengths use Lee's O(n log n) split recursion,
+ * flattened into iterative level sweeps that transform every row of
+ * the field simultaneously (the batch dimension is contiguous, so the
+ * inner loops vectorize and there is no per-row call overhead); other
+ * lengths fall back to a dense cosine matrix multiply, likewise
+ * batched. Instances carry scratch buffers and are NOT thread-safe;
+ * give each thread (each ThermalGrid) its own plan.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace boreas
+{
+
+/** Reusable 2-D DCT-II / inverse plan for an nx x ny field. */
+class Dct2Plan
+{
+  public:
+    Dct2Plan(int nx, int ny);
+
+    int nx() const { return nx_; }
+    int ny() const { return ny_; }
+
+    /**
+     * Forward unnormalized 2-D DCT-II. `field` is row-major
+     * [y*nx + x]; `modes` is written as [kx*ny + ky]. The two arrays
+     * must not alias. The float overload rounds only the final store
+     * (all internal arithmetic stays double) — it exists for callers
+     * that keep bandwidth-bound mode-space state in single precision.
+     */
+    void forward(const double *field, double *modes);
+    void forward(const double *field, float *modes);
+
+    /**
+     * Exact inverse of forward() (scaled DCT-III), modes -> field.
+     * `modes` is left untouched; the arrays must not alias. The float
+     * overload widens each coefficient on first read and computes in
+     * double throughout.
+     */
+    void inverse(const double *modes, double *field);
+    void inverse(const float *modes, double *field);
+
+    /**
+     * Eigenvalue lam(k) = 2 - 2 cos(pi k / n) of the *negated* 1-D
+     * Neumann second difference: applying the stencil
+     * sum_neighbors (f_j - f_i) to phi_k multiplies it by -lam(k).
+     */
+    static double laplacianEigenvalue(int k, int n);
+
+  private:
+    /** Per-axis transform data (Lee tables or dense fallback). */
+    struct Axis
+    {
+        int n = 0;
+        bool pow2 = false;
+        /** 0.5 / cos((i+0.5) pi / len) per recursion level, flat. */
+        std::vector<double> halfSec;
+        /** Offset of each level's table in halfSec (len = n >> level). */
+        std::vector<size_t> levelOff;
+        /** Dense fallback, forward: [k*n + i] = cos(pi k (2i+1)/(2n)). */
+        std::vector<double> fwdMat;
+        /** Dense fallback, inverse: [i*n + k]; k = 0 column pre-halved. */
+        std::vector<double> invMat;
+    };
+
+    static Axis makeAxis(int n);
+
+    /**
+     * Unnormalized DCT-II along the outer (position) index of `src`, a
+     * [ax.n x batch] array with the batch index contiguous, written to
+     * `dst` (must not alias `src`). Level sweeps ping-pong through the
+     * padded internal buffers; the final sweep lands in `dst`,
+     * narrowing only on that last store when TDst is float.
+     */
+    template <typename TDst>
+    void batchedDct2(const Axis &ax, const double *src, TDst *dst,
+                     int batch);
+    /**
+     * Batched DCT-III counterpart (inverse direction, unscaled). With
+     * `halve_first` the position-0 input row is read pre-halved, which
+     * is the coefficient-0 halving the true inverse needs per axis.
+     * When TSrc is float each input is widened on its first read.
+     */
+    template <typename TSrc>
+    void batchedDct3(const Axis &ax, const TSrc *src, double *dst,
+                     int batch, bool halve_first);
+
+    template <typename TDst>
+    void forwardImpl(const double *field, TDst *modes);
+    template <typename TSrc>
+    void inverseImpl(const TSrc *modes, double *field);
+
+    int nx_;
+    int ny_;
+    Axis ax_;
+    Axis ay_;
+    std::vector<double> passScratch_; ///< transpose staging buffer
+    std::vector<double> fieldScratch_;///< first-pass result buffer
+    std::vector<double> pingPad_;     ///< padded-stride sweep buffer A
+    std::vector<double> pongPad_;     ///< padded-stride sweep buffer B
+};
+
+} // namespace boreas

@@ -120,6 +120,9 @@ emitManifest(std::ostream &os, const RunManifest &m)
        << "    \"scale\": \"" << escape(m.scale) << "\",\n"
        << "    \"threads\": " << m.threads << ",\n"
        << "    \"seed\": " << m.seed << ",\n";
+    if (!m.thermalSolver.empty())
+        os << "    \"thermal_solver\": \"" << escape(m.thermalSolver)
+           << "\",\n";
     if (m.hasRunHash)
         os << "    \"run_hash\": \"" << hexString(m.runHash) << "\",\n";
     os << "    \"wall_s\": " << m.wallSeconds << ",\n"

@@ -25,6 +25,12 @@ struct RunManifest
     std::string scale;
     /** Parallel lanes the run was executed with. */
     int threads = 1;
+    /**
+     * Thermal integrator the run used ("explicit" / "spectral" /
+     * "surrogate"); "" when the bench predates solver selection or
+     * does not run the thermal stage.
+     */
+    std::string thermalSolver;
     /** Base RNG seed of the run. */
     uint64_t seed = 0;
     /** Pipeline runHash fingerprint (valid when hasRunHash). */

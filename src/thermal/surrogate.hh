@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The learned-surrogate seam of the thermal stage (DESIGN.md §9).
+ *
+ * ThermalGrid dispatches on ThermalSolverKind; the third backend,
+ * Surrogate, forwards each full control-interval step to this
+ * interface. The intended occupant is a trained model in the spirit of
+ * the HBM thermal surrogate (arXiv:2503.04049) / SimNet
+ * (arXiv:2105.05821): given the per-cell power map and the current
+ * state, predict the state one interval later. Until such a model is
+ * trained, tests exercise the seam with mock implementations.
+ *
+ * Contract:
+ *   - step() advances the full stack state in place by exactly dt.
+ *     `si` and `sp` are row-major [y*nx + x] silicon / spreader
+ *     temperature fields; `sink` is the lumped heatsink node.
+ *   - Implementations must be deterministic (bit-identical outputs for
+ *     bit-identical inputs) — the pipeline's runHash audit makes no
+ *     exception for learned backends.
+ *   - The surrogate is non-owning from ThermalGrid's point of view and
+ *     must outlive any grid it is attached to via setSurrogate().
+ *   - Checked builds do NOT shadow-verify surrogate steps (the bound
+ *     only makes sense for the exact-operator spectral path); accuracy
+ *     of a learned backend is a training-time concern.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace boreas
+{
+
+/** One-full-step thermal state predictor (see file comment). */
+class ThermalSurrogate
+{
+  public:
+    virtual ~ThermalSurrogate() = default;
+
+    /**
+     * Advance the stack state in place by dt given the per-cell power
+     * map held over the interval.
+     */
+    virtual void step(const std::vector<Watts> &cell_power, Seconds dt,
+                      std::vector<Celsius> &si, std::vector<Celsius> &sp,
+                      Celsius &sink) = 0;
+};
+
+} // namespace boreas

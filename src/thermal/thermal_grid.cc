@@ -5,6 +5,10 @@
 
 #include "common/checked.hh"
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "thermal/spectral_solver.hh"
+#include "thermal/surrogate.hh"
 
 namespace
 {
@@ -60,6 +64,33 @@ updateInteriorRow(const double *__restrict tsi_v,
 
 } // namespace
 
+const char *
+thermalSolverName(ThermalSolverKind kind)
+{
+    switch (kind) {
+    case ThermalSolverKind::Spectral:
+        return "spectral";
+    case ThermalSolverKind::Surrogate:
+        return "surrogate";
+    case ThermalSolverKind::Explicit:
+        break;
+    }
+    return "explicit";
+}
+
+ThermalSolverKind
+parseThermalSolverName(const std::string &name)
+{
+    if (name == "explicit")
+        return ThermalSolverKind::Explicit;
+    if (name == "spectral")
+        return ThermalSolverKind::Spectral;
+    if (name == "surrogate")
+        return ThermalSolverKind::Surrogate;
+    boreas_fatal("unknown thermal solver '%s' "
+                 "(want explicit|spectral|surrogate)", name.c_str());
+}
+
 ThermalGrid::ThermalGrid(const Floorplan &floorplan,
                          const ThermalParams &params)
     : floorplan_(&floorplan), params_(params)
@@ -70,6 +101,53 @@ ThermalGrid::ThermalGrid(const Floorplan &floorplan,
     computeConstants();
     reset(params_.ambient);
     pCell_.assign(numCells(), 0.0);
+
+    if (params_.solver == ThermalSolverKind::Spectral)
+        spectral_ =
+            std::make_unique<SpectralThermalSolver>(spectralNetwork());
+}
+
+SpectralNetwork
+ThermalGrid::spectralNetwork() const
+{
+    SpectralNetwork net;
+    net.nx = params_.nx;
+    net.ny = params_.ny;
+    net.gLatSi = gLatSi_;
+    net.gLatSp = gLatSp_;
+    net.gVert = gVert_;
+    net.gSinkCell = gSinkCell_;
+    net.cSi = cSi_;
+    net.cSp = cSp_;
+    net.sinkCapacitance = params_.sinkCapacitance;
+    net.sinkAmbientResistance = params_.sinkAmbientResistance;
+    net.ambient = params_.ambient;
+    return net;
+}
+
+ThermalGrid::~ThermalGrid() = default;
+
+const char *
+ThermalGrid::solverTimerName() const
+{
+    switch (params_.solver) {
+    case ThermalSolverKind::Spectral:
+        return "stage.thermal.spectral";
+    case ThermalSolverKind::Surrogate:
+        return "stage.thermal.surrogate";
+    case ThermalSolverKind::Explicit:
+        break;
+    }
+    return "stage.thermal.explicit";
+}
+
+void
+ThermalGrid::setSurrogate(ThermalSurrogate *surrogate)
+{
+    boreas_assert(params_.solver == ThermalSolverKind::Surrogate,
+                  "setSurrogate() on a grid running the %s solver",
+                  thermalSolverName(params_.solver));
+    surrogate_ = surrogate;
 }
 
 void
@@ -121,6 +199,10 @@ ThermalGrid::reset(Celsius uniform)
     tSink_ = uniform;
     newSi_.assign(numCells(), 0.0);
     newSp_.assign(numCells(), 0.0);
+    siValid_ = true;
+    spValid_ = true;
+    modesValid_ = false;
+    stepped_ = false;
 }
 
 void
@@ -135,6 +217,13 @@ ThermalGrid::setUnitPower(const std::vector<Watts> &unit_power)
         checkValuesInRange(unit_power.data(), unit_power.size(), 0.0,
                            1e6, "unit power");
     }
+    // Controllers frequently hold power constant across intervals; an
+    // input identical to the previous call would reproduce pCell_ (and
+    // the spectral power transform) bit for bit, so skip the rescatter.
+    if (!unitPowerCache_.empty() && unit_power == unitPowerCache_)
+        return;
+    unitPowerCache_ = unit_power;
+
     std::fill(pCell_.begin(), pCell_.end(), 0.0);
     for (size_t u = 0; u < unit_power.size(); ++u) {
         const UnitCellMap &map = unitMaps_[u];
@@ -142,36 +231,95 @@ ThermalGrid::setUnitPower(const std::vector<Watts> &unit_power)
         for (size_t k = 0; k < map.cells.size(); ++k)
             pCell_[map.cells[k]] += p * map.fractions[k];
     }
+
+    if (spectral_ != nullptr) {
+        obs::ScopedTimer timer("stage.thermal.ingest");
+        spectral_->setPower(pCell_);
+    }
+}
+
+void
+ThermalGrid::rebuildStepPlan(Seconds dt)
+{
+    plan_.dt = dt;
+    plan_.substeps = std::max(
+        1, static_cast<int>(std::ceil(dt / dtMax_)));
+    plan_.h = dt / plan_.substeps;
+    plan_.invCsi = plan_.h / cSi_;
+    plan_.invCsp = plan_.h / cSp_;
+    plan_.hOverCsink = plan_.h / params_.sinkCapacitance;
 }
 
 void
 ThermalGrid::step(Seconds dt)
 {
     boreas_assert(dt > 0.0, "bad dt");
-    const int substeps = std::max(
-        1, static_cast<int>(std::ceil(dt / dtMax_)));
-    const double h = dt / substeps;
+    // The pipeline steps one fixed dt between resets — that is the
+    // pattern the per-dt plan caches (explicit substep constants,
+    // spectral exponential coefficients) assume. A mid-run change is
+    // legal but suspicious; flag it where checks are on.
+    boreas_check(!stepped_ || dt == plan_.dt,
+                 "thermal dt changed mid-run: %g -> %g", plan_.dt, dt);
+    if (dt != plan_.dt)
+        rebuildStepPlan(dt);
+
+    switch (params_.solver) {
+    case ThermalSolverKind::Explicit:
+        explicitAdvance(tSi_, tSp_, tSink_, dt);
+        break;
+    case ThermalSolverKind::Spectral:
+        spectralStep(dt);
+        break;
+    case ThermalSolverKind::Surrogate:
+        boreas_assert(surrogate_ != nullptr,
+                      "surrogate solver selected but none attached");
+        surrogate_->step(pCell_, dt, tSi_, tSp_, tSink_);
+        break;
+    }
+    stepped_ = true;
+
+    if constexpr (kCheckedBuild) {
+        ensureSiliconCurrent();
+        ensureSpreaderCurrent();
+        checkValuesInRange(tSi_.data(), tSi_.size(), kMinSaneTemp,
+                           kMaxSaneTemp, "silicon temperature");
+        checkValuesInRange(tSp_.data(), tSp_.size(), kMinSaneTemp,
+                           kMaxSaneTemp, "spreader temperature");
+        checkValuesInRange(&tSink_, 1, kMinSaneTemp, kMaxSaneTemp,
+                           "sink temperature");
+    }
+}
+
+void
+ThermalGrid::explicitAdvance(std::vector<double> &si,
+                             std::vector<double> &sp, double &sink,
+                             Seconds dt)
+{
+    boreas_assert(dt == plan_.dt, "step plan out of date");
+    const int substeps = plan_.substeps;
+    const double h = plan_.h;
 
     const int nx = params_.nx;
     const int ny = params_.ny;
     const int n = nx * ny;
-    const double inv_csi = h / cSi_;
-    const double inv_csp = h / cSp_;
+    const double inv_csi = plan_.invCsi;
+    const double inv_csp = plan_.invCsp;
     const double g_si = gLatSi_;
     const double g_sp = gLatSp_;
     const double g_v = gVert_;
     const double g_sink = gSinkCell_;
+    (void)h;
 
     // The loops below preserve the exact per-node floating-point
     // operation order of the reference (branchy) formulation, so the
     // split changes speed only, never results.
     for (int s = 0; s < substeps; ++s) {
-        const double *__restrict tsi_v = tSi_.data();
-        const double *__restrict tsp_v = tSp_.data();
+        const double *__restrict tsi_v = si.data();
+        const double *__restrict tsp_v = sp.data();
         double *__restrict nsi_v = newSi_.data();
         double *__restrict nsp_v = newSp_.data();
         const double *__restrict pc_v = pCell_.data();
-        const double tsink = tSink_;
+        const double tsink = sink;
 
         // Boundary cells keep the reference branch structure.
         auto edge_cell = [&](int x, int y, int i) {
@@ -222,27 +370,97 @@ ThermalGrid::step(Seconds dt)
         double sink_flux = 0.0;
         for (int i = 0; i < n; ++i)
             sink_flux += g_sink * (tsp_v[i] - tsink);
-        sink_flux += (params_.ambient - tSink_) /
+        sink_flux += (params_.ambient - sink) /
             params_.sinkAmbientResistance;
-        tSink_ += h / params_.sinkCapacitance * sink_flux;
+        sink += plan_.hOverCsink * sink_flux;
 
-        tSi_.swap(newSi_);
-        tSp_.swap(newSp_);
+        si.swap(newSi_);
+        sp.swap(newSp_);
+    }
+}
+
+void
+ThermalGrid::spectralStep(Seconds dt)
+{
+    bool shadow = false;
+    if constexpr (kCheckedBuild)
+        shadow = params_.spectralShadowCheck;
+
+    double shadow_sink = tSink_;
+    if (shadow) {
+        ensureSiliconCurrent();
+        ensureSpreaderCurrent();
+        shadowSi_ = tSi_;
+        shadowSp_ = tSp_;
     }
 
-    if constexpr (kCheckedBuild) {
-        checkValuesInRange(tSi_.data(), tSi_.size(), kMinSaneTemp,
-                           kMaxSaneTemp, "silicon temperature");
-        checkValuesInRange(tSp_.data(), tSp_.size(), kMinSaneTemp,
-                           kMaxSaneTemp, "spreader temperature");
-        checkValuesInRange(&tSink_, 1, kMinSaneTemp, kMaxSaneTemp,
-                           "sink temperature");
+    if (!modesValid_) {
+        spectral_->loadState(tSi_, tSp_, tSink_);
+        modesValid_ = true;
     }
+    spectral_->step(dt);
+    tSink_ = spectral_->sinkTemp();
+    siValid_ = false;
+    spValid_ = false;
+
+    if (shadow) {
+        explicitAdvance(shadowSi_, shadowSp_, shadow_sink, dt);
+        ensureSiliconCurrent();
+        ensureSpreaderCurrent();
+        double err = std::fabs(tSink_ - shadow_sink);
+        for (size_t i = 0; i < tSi_.size(); ++i) {
+            err = std::max(err, std::fabs(tSi_[i] - shadowSi_[i]));
+            err = std::max(err, std::fabs(tSp_[i] - shadowSp_[i]));
+        }
+        if (err > params_.spectralShadowTolerance) {
+            if (!warnedShadowFallback_) {
+                boreas_warn("spectral thermal step diverged from the "
+                            "explicit reference by %.6f C (bound %.6f); "
+                            "adopting the explicit result", err,
+                            params_.spectralShadowTolerance);
+                warnedShadowFallback_ = true;
+            }
+            obs::MetricsRegistry::global().add(
+                "thermal.spectral.shadow_fallback");
+            tSi_.swap(shadowSi_);
+            tSp_.swap(shadowSp_);
+            tSink_ = shadow_sink;
+            siValid_ = true;
+            spValid_ = true;
+            modesValid_ = false;
+        }
+    }
+}
+
+void
+ThermalGrid::ensureSiliconCurrent() const
+{
+    if (siValid_)
+        return;
+    obs::ScopedTimer timer("stage.thermal.publish");
+    spectral_->realizeSilicon(tSi_);
+    siValid_ = true;
+}
+
+void
+ThermalGrid::ensureSpreaderCurrent() const
+{
+    if (spValid_)
+        return;
+    obs::ScopedTimer timer("stage.thermal.publish");
+    spectral_->realizeSpreader(tSp_);
+    spValid_ = true;
 }
 
 int
 ThermalGrid::solveSteadyState(double tolerance, int max_sweeps)
 {
+    // SOR iterates on the real-space fields; materialize them first
+    // and invalidate the spectral mode state afterwards.
+    ensureSiliconCurrent();
+    ensureSpreaderCurrent();
+    modesValid_ = false;
+
     const int nx = params_.nx;
     const int ny = params_.ny;
     constexpr double omega = 1.85; // SOR over-relaxation
@@ -319,6 +537,7 @@ ThermalGrid::solveSteadyState(double tolerance, int max_sweeps)
 Celsius
 ThermalGrid::maxSiliconTemp() const
 {
+    ensureSiliconCurrent();
     return *std::max_element(tSi_.begin(), tSi_.end());
 }
 
@@ -337,6 +556,7 @@ ThermalGrid::cellAt(const Point &p) const
 Celsius
 ThermalGrid::temperatureAt(const Point &p) const
 {
+    ensureSiliconCurrent();
     return tSi_[cellAt(p)];
 }
 
@@ -353,6 +573,7 @@ ThermalGrid::cellCenter(int cell) const
 const std::vector<Celsius> &
 ThermalGrid::unitTemps() const
 {
+    ensureSiliconCurrent();
     unitTempsScratch_.assign(floorplan_->numUnits(), params_.ambient);
     for (size_t u = 0; u < unitMaps_.size(); ++u) {
         const UnitCellMap &map = unitMaps_[u];

@@ -18,13 +18,28 @@
  * constants of ~50 us, which is what makes *advanced* hotspots: local
  * heating on the microsecond scale, far faster than sensor+DVFS loops.
  *
- * Transient integration is explicit with substeps bounded by the network
- * stability limit; a steady-state SOR solve provides warm-start initial
- * conditions.
+ * Three interchangeable transient integrators (ThermalParams::solver):
+ *
+ *   Explicit  — the reference: forward Euler with substeps bounded by
+ *               the network stability limit. Bit-exact across releases
+ *               (the determinism audit pins its runHash).
+ *   Spectral  — exact full-interval stepping: a 2-D DCT-II
+ *               diagonalizes the lateral coupling and each mode is
+ *               advanced with a closed-form matrix exponential
+ *               (thermal/spectral_solver.hh, DESIGN.md §9). In checked
+ *               builds every step is shadow-verified against the
+ *               explicit reference within spectralShadowTolerance.
+ *   Surrogate — a seam for a learned one-step model
+ *               (thermal/surrogate.hh); attach with setSurrogate().
+ *
+ * A steady-state SOR solve provides warm-start initial conditions for
+ * any solver.
  */
 
 #pragma once
 
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
@@ -32,6 +47,24 @@
 
 namespace boreas
 {
+
+class SpectralThermalSolver;
+struct SpectralNetwork;
+class ThermalSurrogate;
+
+/** Which transient integrator a ThermalGrid runs (see file comment). */
+enum class ThermalSolverKind
+{
+    Explicit,
+    Spectral,
+    Surrogate,
+};
+
+/** Lower-case name of a solver kind ("explicit" / "spectral" / ...). */
+const char *thermalSolverName(ThermalSolverKind kind);
+
+/** Parse a solver name; boreas_fatal on anything unknown. */
+ThermalSolverKind parseThermalSolverName(const std::string &name);
 
 /** Material and geometry parameters of the thermal stack. */
 struct ThermalParams
@@ -61,6 +94,27 @@ struct ThermalParams
 
     /** Safety factor on the explicit-integration stability bound. */
     double dtSafety = 0.4;
+
+    /** Transient integrator selection. */
+    ThermalSolverKind solver = ThermalSolverKind::Explicit;
+
+    /**
+     * Checked builds only: shadow-run the explicit reference alongside
+     * every spectral step and fall back to its result if the solutions
+     * diverge by more than spectralShadowTolerance anywhere. Disable
+     * for deliberately-coarse test configs (e.g. second-scale steps,
+     * where the *explicit* truncation error exceeds the bound).
+     */
+    bool spectralShadowCheck = true;
+    /**
+     * Max abs per-step spectral-vs-explicit divergence, Celsius. The
+     * default is dominated by the *explicit* reference's own O(h)
+     * truncation on the fast post-power-step transient (measured
+     * ~0.19 C at dtSafety 0.4 on fig7-class runs, decaying ~linearly
+     * with the substep; the spectral step itself is within ~0.011 C of
+     * a 16x-refined reference — DESIGN.md §9.5).
+     */
+    double spectralShadowTolerance = 0.25;
 };
 
 /** The thermal solver. */
@@ -69,23 +123,54 @@ class ThermalGrid
   public:
     ThermalGrid(const Floorplan &floorplan,
                 const ThermalParams &params = {});
+    ~ThermalGrid();
+
+    ThermalGrid(const ThermalGrid &) = delete;
+    ThermalGrid &operator=(const ThermalGrid &) = delete;
 
     const ThermalParams &params() const { return params_; }
     int nx() const { return params_.nx; }
     int ny() const { return params_.ny; }
     int numCells() const { return params_.nx * params_.ny; }
 
+    ThermalSolverKind solverKind() const { return params_.solver; }
+
+    /** Stage-timer name of the active solver (a string literal). */
+    const char *solverTimerName() const;
+
+    /**
+     * Attach the learned backend for ThermalSolverKind::Surrogate
+     * (non-owning; must outlive the grid). Stepping a surrogate grid
+     * without one attached panics.
+     */
+    void setSurrogate(ThermalSurrogate *surrogate);
+
     /** Largest stable explicit substep (with the safety factor). */
     Seconds maxStableDt() const { return dtMax_; }
 
     /**
+     * The grid's lumped network constants, for benches and tests that
+     * drive a raw SpectralThermalSolver side by side with this grid
+     * (callers include thermal/spectral_solver.hh for the definition).
+     */
+    SpectralNetwork spectralNetwork() const;
+
+    /**
      * Set the power map for the next integration interval from per-unit
      * powers (indexed like Floorplan::units()); distributed over cells
-     * by area overlap.
+     * by area overlap. A vector identical to the previous call's is
+     * detected and skipped (controllers frequently hold power constant
+     * across intervals).
      */
     void setUnitPower(const std::vector<Watts> &unit_power);
 
-    /** Advance the transient by dt (internally substepped). */
+    /**
+     * Advance the transient by dt. The explicit path substeps
+     * internally; the spectral path takes one exact step. Per-dt
+     * constants are cached across calls — the pipeline's
+     * fixed-stepLength pattern pays the setup once; checked builds
+     * flag a dt change mid-run (between resets).
+     */
     void step(Seconds dt);
 
     /**
@@ -101,7 +186,18 @@ class ThermalGrid
     void reset(Celsius uniform);
 
     /** Silicon-layer temperatures, row-major (y * nx + x). */
-    const std::vector<Celsius> &siliconTemps() const { return tSi_; }
+    const std::vector<Celsius> &siliconTemps() const
+    {
+        ensureSiliconCurrent();
+        return tSi_;
+    }
+
+    /** Spreader-layer temperatures, row-major (y * nx + x). */
+    const std::vector<Celsius> &spreaderTemps() const
+    {
+        ensureSpreaderCurrent();
+        return tSp_;
+    }
 
     Celsius maxSiliconTemp() const;
 
@@ -131,14 +227,43 @@ class ThermalGrid
   private:
     void computeConstants();
 
+    /** Cached per-dt explicit-integration constants (hot-path hoist). */
+    struct StepPlan
+    {
+        Seconds dt = 0.0;
+        int substeps = 0;
+        double h = 0.0;
+        double invCsi = 0.0;
+        double invCsp = 0.0;
+        double hOverCsink = 0.0;
+    };
+
+    void rebuildStepPlan(Seconds dt);
+
+    /**
+     * The reference explicit integration, advancing the given buffers
+     * (normally the live state; the checked-build shadow run passes
+     * copies). Bit-identical to the historical ThermalGrid::step body.
+     */
+    void explicitAdvance(std::vector<double> &si, std::vector<double> &sp,
+                         double &sink, Seconds dt);
+
+    void spectralStep(Seconds dt);
+
+    /** Inverse-DCT the spectral state on demand (lazy publication). */
+    void ensureSiliconCurrent() const;
+    void ensureSpreaderCurrent() const;
+
     const Floorplan *floorplan_;
     ThermalParams params_;
 
     std::vector<UnitCellMap> unitMaps_;
 
-    // State.
-    std::vector<Celsius> tSi_;
-    std::vector<Celsius> tSp_;
+    // State. The temperature fields are mutable because the spectral
+    // solver keeps its state in mode space and materializes these
+    // buffers lazily inside const accessors.
+    mutable std::vector<Celsius> tSi_;
+    mutable std::vector<Celsius> tSp_;
     Celsius tSink_;
 
     // Power injected per silicon cell, watts.
@@ -153,9 +278,27 @@ class ThermalGrid
     double cSp_ = 0.0;      ///< spreader cell capacitance
     Seconds dtMax_ = 0.0;
 
+    StepPlan plan_;
+    bool stepped_ = false;  ///< any step() since the last reset()?
+
+    // Solver dispatch.
+    std::unique_ptr<SpectralThermalSolver> spectral_;
+    ThermalSurrogate *surrogate_ = nullptr;
+    bool modesValid_ = false;       ///< spectral mode state current?
+    mutable bool siValid_ = true;   ///< tSi_ current?
+    mutable bool spValid_ = true;   ///< tSp_ current?
+    bool warnedShadowFallback_ = false;
+
+    // Last accepted unit-power vector (identical-input skip).
+    std::vector<Watts> unitPowerCache_;
+
     // Scratch buffers for integration.
     std::vector<double> newSi_;
     std::vector<double> newSp_;
+
+    // Checked-build shadow-run scratch.
+    std::vector<double> shadowSi_;
+    std::vector<double> shadowSp_;
 
     // Reused by unitTemps() so the per-telemetry-step pipeline loop
     // does not allocate.

@@ -1,0 +1,45 @@
+// Fixture header that must produce zero violations: the constructs
+// the spectral solver and DCT plan introduced — a target_clones
+// function attribute, member templates with endpoint-precision
+// parameters, and generic lambdas casting on store. Not compiled.
+#pragma once
+
+#include <type_traits>
+#include <vector>
+
+namespace boreas_fixture
+{
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+#define FIXTURE_CLONES __attribute__((target_clones("avx2,fma", "default")))
+#else
+#define FIXTURE_CLONES
+#endif
+
+// Words like "clones" and attribute strings must not trip any rule.
+FIXTURE_CLONES void sweep(const float *__restrict in,
+                          float *__restrict out, int n);
+
+class Plan
+{
+  public:
+    Plan() = default;
+    Plan(const Plan &) = delete;
+    Plan &operator=(const Plan &) = delete;
+
+    template <typename TDst> void transform(const double *src, TDst *dst)
+    {
+        // Generic lambda narrowing only on the final store.
+        auto store = [&](auto *out, int i) {
+            using TO = std::remove_reference_t<decltype(out[0])>;
+            out[i] = static_cast<TO>(src[i]);
+        };
+        store(dst, 0);
+    }
+
+  private:
+    std::vector<float> streamed_;
+    std::vector<double> exact_;
+};
+
+} // namespace boreas_fixture

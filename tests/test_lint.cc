@@ -147,6 +147,16 @@ TEST(Lint, CleanFixturePasses)
         ADD_FAILURE() << boreas::lint::format(v);
 }
 
+TEST(Lint, CleanSpectralIdiomsPass)
+{
+    // The spectral fast path introduced function multi-versioning
+    // attributes, endpoint-precision member templates and generic
+    // lambdas; none of them may trip a rule.
+    const auto vs = lintFixture("clean_spectral.hh");
+    for (const auto &v : vs)
+        ADD_FAILURE() << boreas::lint::format(v);
+}
+
 TEST(Lint, CommentedAndQuotedCodeIsIgnored)
 {
     const std::string body =

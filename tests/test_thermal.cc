@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "common/checked.hh"
 #include "floorplan/skylake.hh"
 #include "thermal/thermal_grid.hh"
 
@@ -253,3 +254,59 @@ TEST_P(ThermalSubstepInvariance, ResultIndependentOfStepPartition)
 
 INSTANTIATE_TEST_SUITE_P(Partitions, ThermalSubstepInvariance,
                          ::testing::Values(80e-6, 160e-6, 400e-6));
+
+TEST(ThermalGrid, RepeatedIdenticalPowerVectorIsSkippedHarmlessly)
+{
+    // setUnitPower() detects an input identical to the previous call
+    // and skips the cell scatter; the trajectory must be bit-identical
+    // to calling it once.
+    const Floorplan fp = buildSkylakeFloorplan();
+    ThermalGrid a(fp, smallGrid());
+    ThermalGrid b(fp, smallGrid());
+    std::vector<Watts> power(fp.numUnits(), 0.0);
+    power[fp.findUnit(UnitKind::IntALU, 0)] = 4.0;
+
+    a.setUnitPower(power);
+    b.setUnitPower(power);
+    for (int i = 0; i < 25; ++i) {
+        // a: redundant re-set every step (the skip path); b: set once.
+        a.setUnitPower(std::vector<Watts>(power));
+        a.step(80e-6);
+        b.step(80e-6);
+    }
+    const auto &ta = a.siliconTemps();
+    const auto &tb = b.siliconTemps();
+    for (size_t i = 0; i < ta.size(); ++i)
+        ASSERT_EQ(ta[i], tb[i]);
+    EXPECT_EQ(a.sinkTemp(), b.sinkTemp());
+}
+
+TEST(ThermalGrid, ChangedPowerVectorIsNotSkipped)
+{
+    const Floorplan fp = buildSkylakeFloorplan();
+    ThermalGrid grid(fp, smallGrid());
+    std::vector<Watts> power(fp.numUnits(), 1.0);
+    grid.setUnitPower(power);
+    EXPECT_NEAR(grid.totalPower(), fp.numUnits(), 1e-9);
+    power.back() = 3.0; // one element differs -> must rescatter
+    grid.setUnitPower(power);
+    EXPECT_NEAR(grid.totalPower(), fp.numUnits() + 2.0, 1e-9);
+}
+
+using ThermalGridDeathTest = ::testing::Test;
+
+TEST(ThermalGridDeathTest, MidRunDtChangeIsFlaggedInCheckedBuilds)
+{
+    if (!kCheckedBuild)
+        GTEST_SKIP() << "dt-change flagging is checked-build only";
+    // The per-dt step plan assumes the pipeline's fixed-stepLength
+    // pattern; changing dt mid-run (without a reset) trips the check.
+    const Floorplan fp = buildSkylakeFloorplan();
+    ThermalGrid grid(fp, smallGrid());
+    grid.setUnitPower(std::vector<Watts>(fp.numUnits(), 0.0));
+    grid.step(80e-6);
+    EXPECT_DEATH(grid.step(160e-6), "dt changed mid-run");
+    // A reset starts a fresh run; a new dt is then fine.
+    grid.reset(kAmbient);
+    grid.step(160e-6);
+}
