@@ -23,9 +23,14 @@ using namespace boreas;
 using namespace boreas::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opts = parseBenchArgs(argc, argv);
     BenchReport report("ablation_delay");
+    const std::unique_ptr<WorkloadSource> wl_override =
+        opts.hasWorkload() ? opts.makeSource() : nullptr;
+    if (wl_override)
+        report.workloadSource(wl_override->name());
     const std::vector<int> delays{0, 2, 12};
 
     TextTable table;
@@ -53,11 +58,18 @@ main()
               static_cast<FrequencyController *>(&ml05)}) {
             OnlineStats norm;
             int incursions = 0;
-            for (const WorkloadSpec *w : testWorkloads()) {
+            if (wl_override) {
                 const EvalRow row =
-                    evaluateController(pipeline, *w, *m);
+                    evaluateController(pipeline, *wl_override, *m);
                 norm.add(row.normalized);
                 incursions += row.incursions;
+            } else {
+                for (const WorkloadSpec *w : testWorkloads()) {
+                    const EvalRow row =
+                        evaluateController(pipeline, *w, *m);
+                    norm.add(row.normalized);
+                    incursions += row.incursions;
+                }
             }
             table.addRow({strfmt("%d us", delay * 80), m->name(),
                           TextTable::num(norm.mean(), 4),

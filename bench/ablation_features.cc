@@ -27,20 +27,34 @@ using namespace boreas;
 using namespace boreas::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opts = parseBenchArgs(argc, argv);
     BenchReport report("ablation_features");
     SimulationPipeline pipeline;
     const DatasetConfig dcfg = datasetConfigFor(benchScale());
     std::fprintf(stderr, "[bench] generating train data...\n");
     const BuiltData train = buildTrainingData(pipeline, trainWorkloads(),
                                               dcfg);
+    // --workload swaps the held-out evaluation stimulus; training stays
+    // on the Table III split so the ablation still measures
+    // generalization.
+    const std::unique_ptr<WorkloadSource> wl_override =
+        opts.hasWorkload() ? opts.makeSource() : nullptr;
+    if (wl_override)
+        report.workloadSource(wl_override->name());
     DatasetConfig eval_cfg = dcfg;
     eval_cfg.intensityAugments = {1.0};
     eval_cfg.walkSegments = 2;
     std::fprintf(stderr, "[bench] generating test data...\n");
-    const BuiltData test = buildTrainingData(pipeline, testWorkloads(),
-                                             eval_cfg);
+    const BuiltData test =
+        wl_override
+            ? buildTrainingData(
+                  pipeline,
+                  std::vector<const WorkloadSource *>{
+                      wl_override.get()},
+                  eval_cfg)
+            : buildTrainingData(pipeline, testWorkloads(), eval_cfg);
 
     struct Variant
     {

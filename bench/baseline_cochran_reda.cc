@@ -22,10 +22,15 @@ using namespace boreas;
 using namespace boreas::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opts = parseBenchArgs(argc, argv);
     BenchReport report("baseline_cochran_reda");
     auto ctx = buildExperimentContext();
+    const std::unique_ptr<WorkloadSource> wl_override =
+        opts.hasWorkload() ? opts.makeSource() : nullptr;
+    if (wl_override)
+        report.workloadSource(wl_override->name());
     auto th00 = ctx->thController(0.0);
     auto cr = ctx->crController();
     auto ml05 = ctx->mlController(0.05);
@@ -35,8 +40,15 @@ main()
     DatasetConfig eval_cfg = datasetConfigFor(benchScale());
     eval_cfg.intensityAugments = {1.0};
     eval_cfg.walkSegments = 2;
-    const BuiltData eval = buildTrainingData(ctx->pipeline,
-                                             testWorkloads(), eval_cfg);
+    const BuiltData eval =
+        wl_override
+            ? buildTrainingData(
+                  ctx->pipeline,
+                  std::vector<const WorkloadSource *>{
+                      wl_override.get()},
+                  eval_cfg)
+            : buildTrainingData(ctx->pipeline, testWorkloads(),
+                                eval_cfg);
     OnlineStats temp_err;
     for (const auto &s : eval.phaseSamples) {
         const double pred = ctx->trained.phaseModel.predictNextTemp(
@@ -54,11 +66,9 @@ main()
     table.setHeader({"workload", "TH-00", "CochranReda", "ML05"});
     OnlineStats th_norm, cr_norm, ml_norm;
     int th_inc = 0, cr_inc = 0, ml_inc = 0;
-    for (const WorkloadSpec *w : testWorkloads()) {
-        const EvalRow th = evaluateController(ctx->pipeline, *w, *th00);
-        const EvalRow c = evaluateController(ctx->pipeline, *w, *cr);
-        const EvalRow ml = evaluateController(ctx->pipeline, *w, *ml05);
-        table.addRow({w->name, TextTable::num(th.normalized, 4),
+    const auto addRuns = [&](const EvalRow &th, const EvalRow &c,
+                             const EvalRow &ml) {
+        table.addRow({th.workload, TextTable::num(th.normalized, 4),
                       TextTable::num(c.normalized, 4),
                       TextTable::num(ml.normalized, 4)});
         th_norm.add(th.normalized);
@@ -67,6 +77,17 @@ main()
         th_inc += th.incursions;
         cr_inc += c.incursions;
         ml_inc += ml.incursions;
+    };
+    if (wl_override) {
+        addRuns(evaluateController(ctx->pipeline, *wl_override, *th00),
+                evaluateController(ctx->pipeline, *wl_override, *cr),
+                evaluateController(ctx->pipeline, *wl_override, *ml05));
+    } else {
+        for (const WorkloadSpec *w : testWorkloads()) {
+            addRuns(evaluateController(ctx->pipeline, *w, *th00),
+                    evaluateController(ctx->pipeline, *w, *cr),
+                    evaluateController(ctx->pipeline, *w, *ml05));
+        }
     }
     std::printf("=== normalized average frequency (test set) ===\n");
     table.print(std::cout);

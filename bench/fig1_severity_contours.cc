@@ -16,14 +16,17 @@
 #include <iostream>
 
 #include "common/table.hh"
+#include "harness.hh"
 #include "hotspot/severity.hh"
 #include "report.hh"
 
 using namespace boreas;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::requireNoWorkloadOverride(
+        bench::parseBenchArgs(argc, argv), "fig1_severity_contours");
     bench::BenchReport report("fig1_severity_contours");
     SeverityModel model;
 

@@ -24,8 +24,9 @@ using namespace boreas;
 using namespace boreas::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opts = parseBenchArgs(argc, argv);
     BenchReport report("fig2_severity_sweep");
     SimulationPipeline pipeline;
     const auto &suite = spec2006Suite();
@@ -33,10 +34,19 @@ main()
     for (const auto &w : suite)
         all.push_back(&w);
 
-    std::fprintf(stderr, "[bench] sweeping 27 workloads x 13 "
-                 "frequencies...\n");
-    const SeveritySweep sweep = severitySweep(
-        pipeline, all, pipeline.vfTable().frequencies(), kBenchSeed);
+    const std::unique_ptr<WorkloadSource> wl_override =
+        opts.hasWorkload() ? opts.makeSource() : nullptr;
+    std::fprintf(stderr, "[bench] sweeping %s x 13 frequencies...\n",
+                 wl_override ? wl_override->name().c_str()
+                             : "27 workloads");
+    if (wl_override)
+        report.workloadSource(wl_override->name());
+    const SeveritySweep sweep =
+        wl_override
+            ? severitySweep(pipeline, {wl_override.get()},
+                            pipeline.vfTable().frequencies(), kBenchSeed)
+            : severitySweep(pipeline, all,
+                            pipeline.vfTable().frequencies(), kBenchSeed);
 
     // Sort rows by peak severity at the top frequency (the paper sorts
     // workloads by their peak severity).

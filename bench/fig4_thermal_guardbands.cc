@@ -21,34 +21,46 @@ using namespace boreas;
 using namespace boreas::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opts = parseBenchArgs(argc, argv);
     BenchReport report("fig4_thermal_guardbands");
     SimulationPipeline pipeline;
     const CriticalTempTable table = buildThTable(pipeline);
 
-    // Fan the 2 workloads x 3 relaxations out over the pool.
-    const std::vector<const char *> names{"gromacs", "gamess"};
+    // Fan the workloads x 3 relaxations out over the pool. Default is
+    // the paper's bursty/steady pair; --workload swaps in one source.
+    const std::unique_ptr<WorkloadSource> wl_override =
+        opts.hasWorkload() ? opts.makeSource() : nullptr;
+    if (wl_override)
+        report.workloadSource(wl_override->name());
+    std::vector<std::string> names;
+    if (wl_override)
+        names.push_back(wl_override->name());
+    else
+        names = {"gromacs", "gamess"};
     const std::vector<Celsius> offsets{0.0, 5.0, 10.0};
     std::vector<RunTask> tasks;
-    for (const char *name : names) {
+    for (const std::string &name : names) {
         for (Celsius offset : offsets) {
-            tasks.push_back(
-                {&findWorkload(name),
-                 [&table, offset] {
-                     return std::make_unique<ThermalThresholdController>(
-                         strfmt("TH-%02d", static_cast<int>(offset)),
-                         table, offset, kBestSensorIndex);
-                 },
-                 kBenchSeed, kBaselineFrequency});
+            RunTask task{
+                wl_override ? nullptr : &findWorkload(name),
+                [&table, offset] {
+                    return std::make_unique<ThermalThresholdController>(
+                        strfmt("TH-%02d", static_cast<int>(offset)),
+                        table, offset, kBestSensorIndex);
+                },
+                kBenchSeed, kBaselineFrequency};
+            task.source = wl_override.get();
+            tasks.push_back(std::move(task));
         }
     }
     const std::vector<RunResult> all = runAll(pipeline.config(), tasks);
 
     for (size_t wi = 0; wi < names.size(); ++wi) {
-        const char *name = names[wi];
+        const char *name = names[wi].c_str();
         std::printf("=== Fig. 4%s: %s ===\n",
-                    std::string(name) == "gromacs" ? "a" : "b", name);
+                    std::string(name) == "gamess" ? "b" : "a", name);
 
         TextTable series;
         series.setHeader({"ms", "TH-00 GHz", "TH-00 sev", "TH-05 GHz",

@@ -23,20 +23,31 @@ using namespace boreas;
 using namespace boreas::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opts = parseBenchArgs(argc, argv);
     BenchReport report("fig5_sensor_placement");
     PipelineConfig cfg;
     cfg.sensors.delaySteps = 0; // Fig. 5 shows site temperatures
     SimulationPipeline pipeline(cfg);
 
-    // A hot, bursty workload pushed past its safe point.
-    const WorkloadSpec &w = findWorkload("povray");
-    const RunResult run = pipeline.runConstantFrequency(
-        w, kBenchSeed, 4.5);
+    // A hot, bursty workload pushed past its safe point. --workload
+    // substitutes any registered source as the traced stimulus (the
+    // k-means placement demo below keeps its fixed program set).
+    const std::unique_ptr<WorkloadSource> wl_override =
+        opts.hasWorkload() ? opts.makeSource() : nullptr;
+    if (wl_override)
+        report.workloadSource(wl_override->name());
+    const RunResult run =
+        wl_override
+            ? pipeline.runConstantFrequency(*wl_override, kBenchSeed,
+                                            4.5)
+            : pipeline.runConstantFrequency(findWorkload("povray"),
+                                            kBenchSeed, 4.5);
 
-    std::printf("=== Fig. 5: sensor readings vs severity (povray @ "
-                "4.5 GHz) ===\n");
+    std::printf("=== Fig. 5: sensor readings vs severity (%s @ "
+                "4.5 GHz) ===\n",
+                wl_override ? wl_override->name().c_str() : "povray");
     TextTable series;
     series.setHeader({"ms", "ts00", "ts01", "ts02", "ts03", "ts04",
                       "ts05", "ts06", "maxSev"});

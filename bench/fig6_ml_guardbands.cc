@@ -19,23 +19,31 @@ using namespace boreas;
 using namespace boreas::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opts = parseBenchArgs(argc, argv);
     BenchReport report("fig6_ml_guardbands");
     auto ctx = buildExperimentContext();
-    const WorkloadSpec &w = findWorkload("bzip2");
+    const std::unique_ptr<WorkloadSource> wl_override =
+        opts.hasWorkload() ? opts.makeSource() : nullptr;
+    if (wl_override)
+        report.workloadSource(wl_override->name());
 
     // The three guardband runs are independent: run them on the pool.
     const double guardbands[] = {0.0, 0.05, 0.10};
     std::vector<RunTask> tasks;
     for (double g : guardbands) {
-        tasks.push_back({&w, [&ctx, g] { return ctx->mlController(g); },
-                         kBenchSeed, kBaselineFrequency});
+        RunTask task{wl_override ? nullptr : &findWorkload("bzip2"),
+                     [&ctx, g] { return ctx->mlController(g); },
+                     kBenchSeed, kBaselineFrequency};
+        task.source = wl_override.get();
+        tasks.push_back(std::move(task));
     }
     const std::vector<RunResult> runs =
         runAll(ctx->pipeline.config(), tasks);
 
-    std::printf("=== Fig. 6: bzip2 under ML00 / ML05 / ML10 ===\n");
+    std::printf("=== Fig. 6: %s under ML00 / ML05 / ML10 ===\n",
+                wl_override ? wl_override->name().c_str() : "bzip2");
     TextTable series;
     series.setHeader({"ms", "ML00 GHz", "ML00 sev", "ML05 GHz",
                       "ML05 sev", "ML10 GHz", "ML10 sev"});

@@ -133,12 +133,17 @@ reportSolverSpeedup(BenchReport &report, const PipelineConfig &config)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opts = parseBenchArgs(argc, argv);
     BenchReport report("fig7_avg_frequency");
     auto ctx = buildExperimentContext();
     report.thermalSolver(thermalSolverName(ctx->pipeline.config()
                                                .thermal.solver));
+    const std::unique_ptr<WorkloadSource> wl_override =
+        opts.hasWorkload() ? opts.makeSource() : nullptr;
+    if (wl_override)
+        report.workloadSource(wl_override->name());
 
     // One factory per model: every (workload, model) run gets its own
     // controller instance so the whole grid fans out over the pool.
@@ -154,8 +159,19 @@ main()
         [&ctx] { return ctx->mlController(0.10); },
     };
     const std::vector<const WorkloadSpec *> workloads = testWorkloads();
-    const auto grid =
-        evaluateGrid(ctx->pipeline.config(), workloads, models);
+    std::vector<std::string> workload_names;
+    std::vector<std::vector<EvalRow>> grid;
+    if (wl_override) {
+        workload_names.push_back(wl_override->name());
+        grid = evaluateGrid(
+            ctx->pipeline.config(),
+            std::vector<const WorkloadSource *>{wl_override.get()},
+            models);
+    } else {
+        for (const WorkloadSpec *w : workloads)
+            workload_names.push_back(w->name);
+        grid = evaluateGrid(ctx->pipeline.config(), workloads, models);
+    }
 
     TextTable table;
     table.setHeader({"workload", "model", "avg GHz", "vs 3.75",
@@ -165,7 +181,7 @@ main()
     std::map<std::string, int> incursions_by_model;
     std::map<std::string, double> ml05_vs_th;
 
-    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+    for (size_t wi = 0; wi < grid.size(); ++wi) {
         double th_norm = 1.0, ml05_norm = 1.0;
         for (const EvalRow &row : grid[wi]) {
             table.addRow({row.workload, row.controller,
@@ -180,7 +196,7 @@ main()
             if (row.controller == std::string("ML05"))
                 ml05_norm = row.normalized;
         }
-        ml05_vs_th[workloads[wi]->name] = ml05_norm / th_norm - 1.0;
+        ml05_vs_th[workload_names[wi]] = ml05_norm / th_norm - 1.0;
     }
 
     std::printf("=== Fig. 7: per-workload normalized average frequency "

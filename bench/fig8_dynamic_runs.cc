@@ -19,32 +19,46 @@ using namespace boreas;
 using namespace boreas::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opts = parseBenchArgs(argc, argv);
     BenchReport report("fig8_dynamic_runs");
     auto ctx = buildExperimentContext();
+    const std::unique_ptr<WorkloadSource> wl_override =
+        opts.hasWorkload() ? opts.makeSource() : nullptr;
+    if (wl_override)
+        report.workloadSource(wl_override->name());
 
     // All (workload, controller) runs are independent: execute the
     // whole batch on the pool, then print in the fixed task order.
     const std::vector<const WorkloadSpec *> workloads = testWorkloads();
+    std::vector<std::string> names;
+    if (wl_override)
+        names.push_back(wl_override->name());
+    else
+        for (const WorkloadSpec *w : workloads)
+            names.push_back(w->name);
     std::vector<RunTask> tasks;
-    for (const WorkloadSpec *w : workloads) {
-        tasks.push_back(
-            {w, [&ctx] { return ctx->thController(0.0); }, kBenchSeed,
-             kBaselineFrequency});
-        tasks.push_back(
-            {w, [&ctx] { return ctx->mlController(0.05); }, kBenchSeed,
-             kBaselineFrequency});
+    for (size_t wi = 0; wi < names.size(); ++wi) {
+        const WorkloadSpec *w = wl_override ? nullptr : workloads[wi];
+        RunTask th_task{w, [&ctx] { return ctx->thController(0.0); },
+                        kBenchSeed, kBaselineFrequency};
+        th_task.source = wl_override.get();
+        tasks.push_back(std::move(th_task));
+        RunTask ml_task{w, [&ctx] { return ctx->mlController(0.05); },
+                        kBenchSeed, kBaselineFrequency};
+        ml_task.source = wl_override.get();
+        tasks.push_back(std::move(ml_task));
     }
     const std::vector<RunResult> runs =
         runAll(ctx->pipeline.config(), tasks);
 
-    for (size_t wi = 0; wi < workloads.size(); ++wi) {
-        const WorkloadSpec *w = workloads[wi];
+    for (size_t wi = 0; wi < names.size(); ++wi) {
+        const std::string &name = names[wi];
         const RunResult &th_run = runs[2 * wi];
         const RunResult &ml_run = runs[2 * wi + 1];
 
-        std::printf("=== Fig. 8: %s ===\n", w->name.c_str());
+        std::printf("=== Fig. 8: %s ===\n", name.c_str());
         TextTable series;
         series.setHeader({"ms", "TH-00 GHz", "TH-00 sev", "ML05 GHz",
                           "ML05 sev"});
@@ -60,8 +74,8 @@ main()
             });
         }
         series.print(std::cout);
-        report.addTable("fig8_" + w->name, series);
-        report.comparison(w->name + " ML05 incursion steps", "0",
+        report.addTable("fig8_" + name, series);
+        report.comparison(name + " ML05 incursion steps", "0",
                           std::to_string(ml_run.incursionSteps()));
         std::printf("summary: TH-00 avg %.3f GHz (peak sev %.3f, "
                     "%d incursions) | ML05 avg %.3f GHz (peak sev "

@@ -28,8 +28,12 @@ using namespace boreas;
 using namespace boreas::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Fig. 9 cross-validates over the fixed training split (the groups
+    // ARE the workloads), so a single-source override is meaningless.
+    requireNoWorkloadOverride(parseBenchArgs(argc, argv),
+                              "fig9_model_size_mse");
     BenchReport report("fig9_model_size_mse");
     SimulationPipeline pipeline;
     DatasetConfig dcfg = datasetConfigFor(benchScale());

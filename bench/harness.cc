@@ -43,6 +43,44 @@ benchPipelineConfig()
     return config;
 }
 
+std::unique_ptr<WorkloadSource>
+BenchOptions::makeSource() const
+{
+    boreas_assert(hasWorkload(),
+                  "makeSource() without a --workload override");
+    return makeWorkloadSource(workloadSpec);
+}
+
+BenchOptions
+parseBenchArgs(int argc, char **argv)
+{
+    BenchOptions options;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--workload") == 0 && i + 1 < argc) {
+            options.workloadSpec = argv[++i];
+        } else if (std::strncmp(arg, "--workload=", 11) == 0) {
+            options.workloadSpec = arg + 11;
+        } else {
+            boreas_fatal(
+                "unknown bench argument '%s'\n"
+                "usage: %s [--workload <source-spec>]\n%s",
+                arg, argv[0], workloadSourceGrammar().c_str());
+        }
+    }
+    return options;
+}
+
+void
+requireNoWorkloadOverride(const BenchOptions &options,
+                          const char *bench_name)
+{
+    if (options.hasWorkload()) {
+        boreas_fatal("%s has no workload dimension; --workload does "
+                     "not apply", bench_name);
+    }
+}
+
 DatasetConfig
 datasetConfigFor(Scale scale)
 {
@@ -142,6 +180,24 @@ evaluateController(SimulationPipeline &pipeline,
     return row;
 }
 
+EvalRow
+evaluateController(SimulationPipeline &pipeline,
+                   const WorkloadSource &source,
+                   FrequencyController &controller, uint64_t seed)
+{
+    const auto clone = source.clone();
+    const RunResult run = pipeline.runWithController(
+        *clone, seed, controller, kBaselineFrequency);
+    EvalRow row;
+    row.workload = source.name();
+    row.controller = controller.name();
+    row.avgFreq = run.averageFrequency();
+    row.normalized = row.avgFreq / kBaselineFrequency;
+    row.peakSeverity = run.peakSeverity();
+    row.incursions = run.incursionSteps();
+    return row;
+}
+
 std::vector<RunResult>
 runAll(const PipelineConfig &config, const std::vector<RunTask> &tasks)
 {
@@ -153,9 +209,15 @@ runAll(const PipelineConfig &config, const std::vector<RunTask> &tasks)
             for (int64_t j = lo; j < hi; ++j) {
                 const RunTask &task = tasks[j];
                 const auto controller = task.makeController();
-                results[j] = local.runWithController(
-                    *task.workload, task.seed, *controller,
-                    task.initialFreq);
+                if (task.source != nullptr) {
+                    const auto src = task.source->clone();
+                    results[j] = local.runWithController(
+                        *src, task.seed, *controller, task.initialFreq);
+                } else {
+                    results[j] = local.runWithController(
+                        *task.workload, task.seed, *controller,
+                        task.initialFreq);
+                }
             }
         });
     return results;
@@ -183,6 +245,39 @@ evaluateGrid(const PipelineConfig &config,
             const RunResult &run = runs[j];
             EvalRow &row = grid[wi][ci];
             row.workload = workloads[wi]->name;
+            row.controller = controllers[ci]()->name();
+            row.avgFreq = run.averageFrequency();
+            row.normalized = row.avgFreq / kBaselineFrequency;
+            row.peakSeverity = run.peakSeverity();
+            row.incursions = run.incursionSteps();
+        }
+    }
+    return grid;
+}
+
+std::vector<std::vector<EvalRow>>
+evaluateGrid(const PipelineConfig &config,
+             const std::vector<const WorkloadSource *> &sources,
+             const std::vector<ControllerFactory> &controllers,
+             uint64_t seed)
+{
+    std::vector<RunTask> tasks;
+    tasks.reserve(sources.size() * controllers.size());
+    for (const WorkloadSource *s : sources) {
+        for (const ControllerFactory &make : controllers)
+            tasks.push_back(
+                {nullptr, make, seed, kBaselineFrequency, s});
+    }
+    const std::vector<RunResult> runs = runAll(config, tasks);
+
+    std::vector<std::vector<EvalRow>> grid(sources.size());
+    size_t j = 0;
+    for (size_t wi = 0; wi < sources.size(); ++wi) {
+        grid[wi].resize(controllers.size());
+        for (size_t ci = 0; ci < controllers.size(); ++ci, ++j) {
+            const RunResult &run = runs[j];
+            EvalRow &row = grid[wi][ci];
+            row.workload = sources[wi]->name();
             row.controller = controllers[ci]()->name();
             row.avgFreq = run.averageFrequency();
             row.normalized = row.avgFreq / kBaselineFrequency;

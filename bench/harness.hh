@@ -25,6 +25,7 @@
 #include "control/phase_thermal.hh"
 #include "control/static_controllers.hh"
 #include "control/thermal_controller.hh"
+#include "workload/registry.hh"
 #include "workload/spec2006.hh"
 
 namespace boreas::bench
@@ -54,6 +55,37 @@ PipelineConfig benchPipelineConfig();
 
 /** Seed shared by all benches so figures are cross-consistent. */
 constexpr uint64_t kBenchSeed = 2023;
+
+/**
+ * Command-line options shared by every bench main. With no arguments
+ * each bench runs its built-in default stimulus, byte-identical to the
+ * pre-flag outputs; `--workload <source-spec>` (or `--workload=<...>`)
+ * substitutes any registered workload source (workload/registry.hh
+ * grammar: synthetic:spec2006/<name>, synthetic:nas/<name>, mix:...,
+ * adversarial:..., trace:<path>, or a bare program name).
+ */
+struct BenchOptions
+{
+    std::string workloadSpec; ///< empty = bench default stimulus
+
+    bool
+    hasWorkload() const
+    {
+        return !workloadSpec.empty();
+    }
+
+    /** Build the override source; panics if no --workload was given
+     *  or the spec string does not resolve. */
+    std::unique_ptr<WorkloadSource> makeSource() const;
+};
+
+/** Parse bench argv; panics with usage on unknown arguments. */
+BenchOptions parseBenchArgs(int argc, char **argv);
+
+/** Panics if --workload was given — for benches whose experiment has
+ *  no workload dimension (e.g. VF tables, severity contours). */
+void requireNoWorkloadOverride(const BenchOptions &options,
+                               const char *bench_name);
 
 /** The DatasetConfig for a scale. */
 DatasetConfig datasetConfigFor(Scale scale);
@@ -111,6 +143,12 @@ EvalRow evaluateController(SimulationPipeline &pipeline,
                            FrequencyController &controller,
                            uint64_t seed = kBenchSeed);
 
+/** Same, driven by an arbitrary source (evaluated on a fresh clone). */
+EvalRow evaluateController(SimulationPipeline &pipeline,
+                           const WorkloadSource &source,
+                           FrequencyController &controller,
+                           uint64_t seed = kBenchSeed);
+
 /**
  * Creates a fresh controller instance for one run. Invoked on pool
  * workers, so the factory must be callable concurrently; the trained
@@ -119,13 +157,16 @@ EvalRow evaluateController(SimulationPipeline &pipeline,
 using ControllerFactory =
     std::function<std::unique_ptr<FrequencyController>()>;
 
-/** One independent closed-loop run for the parallel fan-out. */
+/** One independent closed-loop run for the parallel fan-out. Exactly
+ *  one of `workload` / `source` is set; a source task runs a private
+ *  clone, so many tasks may share one base source. */
 struct RunTask
 {
     const WorkloadSpec *workload = nullptr;
     ControllerFactory makeController;
     uint64_t seed = kBenchSeed;
     GHz initialFreq = kBaselineFrequency;
+    const WorkloadSource *source = nullptr; ///< overrides `workload`
 };
 
 /**
@@ -144,6 +185,13 @@ std::vector<RunResult> runAll(const PipelineConfig &config,
 std::vector<std::vector<EvalRow>>
 evaluateGrid(const PipelineConfig &config,
              const std::vector<const WorkloadSpec *> &workloads,
+             const std::vector<ControllerFactory> &controllers,
+             uint64_t seed = kBenchSeed);
+
+/** The grid over arbitrary workload sources (cloned per run). */
+std::vector<std::vector<EvalRow>>
+evaluateGrid(const PipelineConfig &config,
+             const std::vector<const WorkloadSource *> &sources,
              const std::vector<ControllerFactory> &controllers,
              uint64_t seed = kBenchSeed);
 

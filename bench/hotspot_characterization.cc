@@ -24,12 +24,50 @@
 using namespace boreas;
 using namespace boreas::bench;
 
-int
-main()
+namespace
 {
+
+/** One (name, stimulus-runner, frequency) characterization row. */
+struct CharRow
+{
+    std::string name;
+    GHz freq = 0.0;
+    RunResult run;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opts = parseBenchArgs(argc, argv);
     BenchReport report("hotspot_characterization");
     SimulationPipeline pipeline;
     const VFTable &vf = pipeline.vfTable();
+
+    // Default: each SPEC2006 program at its first unsafe frequency.
+    // With --workload: the override source at the top grid frequency
+    // (no per-source design oracle exists, so probe the worst case).
+    std::vector<CharRow> rows;
+    if (opts.hasWorkload()) {
+        const auto src = opts.makeSource();
+        report.workloadSource(src->name());
+        CharRow row;
+        row.name = src->name();
+        row.freq = vf.frequencies().back();
+        row.run = pipeline.runConstantFrequency(
+            *src, kBenchSeed + src->groupId(), row.freq);
+        rows.push_back(std::move(row));
+    } else {
+        for (const auto &w : spec2006Suite()) {
+            CharRow row;
+            row.name = w.name;
+            row.freq = vf.stepUp(designOracleFrequency(w.name));
+            row.run = pipeline.runConstantFrequency(
+                w, kBenchSeed + w.seedSalt, row.freq);
+            rows.push_back(std::move(row));
+        }
+    }
 
     std::printf("=== hotspot characterization at each workload's "
                 "first unsafe frequency ===\n");
@@ -38,11 +76,8 @@ main()
                      "fastest onset [us]", "peak sev"});
     OnlineStats onsets;
     int faster_than_loop = 0, with_onset = 0;
-    for (const auto &w : spec2006Suite()) {
-        const GHz unsafe =
-            vf.stepUp(designOracleFrequency(w.name));
-        const RunResult run = pipeline.runConstantFrequency(
-            w, kBenchSeed + w.seedSalt, unsafe);
+    for (const CharRow &cr : rows) {
+        const RunResult &run = cr.run;
 
         HotspotDetector detector;
         for (const auto &rec : run.steps)
@@ -64,7 +99,7 @@ main()
             mean_dur /= static_cast<double>(detector.events().size());
 
         const Seconds fastest = detector.fastestOnset();
-        table.addRow({w.name, TextTable::num(unsafe, 2),
+        table.addRow({cr.name, TextTable::num(cr.freq, 2),
                       std::to_string(detector.events().size()),
                       TextTable::num(mean_dur, 0),
                       fastest ==

@@ -17,12 +17,17 @@
 #include "control/boreas_controller.hh"
 #include "ml/feature_schema.hh"
 #include "report.hh"
+#include "workload/registry.hh"
 #include "workload/spec2006.hh"
 
 using namespace boreas;
 
 namespace
 {
+
+/** --workload spec captured in main() before benchmarks run; it swaps
+ *  the stimulus behind BM_PipelineTelemetryStep (default bzip2). */
+std::string g_workload_spec; // NOLINT
 
 /** Shared state built once (training is expensive). */
 struct MicroState
@@ -37,11 +42,17 @@ struct MicroState
             &findWorkload("povray"), &findWorkload("gromacs"),
             &findWorkload("sjeng"), &findWorkload("mcf")};
         trained = trainBoreas(pipeline, train, cfg);
-        pipeline.start(findWorkload("bzip2"), 1);
+        if (!g_workload_spec.empty()) {
+            source = makeWorkloadSource(g_workload_spec);
+            pipeline.start(*source, 1);
+        } else {
+            pipeline.start(findWorkload("bzip2"), 1);
+        }
     }
 
     SimulationPipeline pipeline;
     TrainedBoreas trained;
+    std::unique_ptr<WorkloadSource> source; ///< keeps the override alive
 };
 
 MicroState &
@@ -172,7 +183,23 @@ class CapturingReporter : public benchmark::ConsoleReporter
 int
 main(int argc, char **argv)
 {
+    // Pull --workload out of argv before google-benchmark parses the
+    // rest (it rejects flags it does not know).
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--workload" && i + 1 < argc)
+            g_workload_spec = argv[++i];
+        else if (arg.rfind("--workload=", 0) == 0)
+            g_workload_spec = arg.substr(11);
+        else
+            argv[kept++] = argv[i];
+    }
+    argc = kept;
+
     boreas::bench::BenchReport report("micro_latency");
+    if (!g_workload_spec.empty())
+        report.workloadSource(g_workload_spec);
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

@@ -17,8 +17,10 @@ using namespace boreas;
 using namespace boreas::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    requireNoWorkloadOverride(parseBenchArgs(argc, argv),
+                              "overhead_analysis");
     BenchReport report("overhead_analysis");
     auto ctx = buildExperimentContext();
     const GBTRegressor &model = ctx->trained.model;

@@ -110,8 +110,11 @@ timeTrain(const Dataset &data)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // The timing fan-outs use fixed micro stimuli; there is no workload
+    // dimension to override.
+    requireNoWorkloadOverride(parseBenchArgs(argc, argv), "perf_report");
     BenchReport report("parallel");
     const int threads = ThreadPool::defaultThreads();
 

@@ -87,6 +87,19 @@ BenchReport::runHash(uint64_t value)
 }
 
 void
+BenchReport::workloadSource(const std::string &spec_string)
+{
+    artifact_.manifest.workloadSource = spec_string;
+}
+
+void
+BenchReport::traceChecksum(uint64_t value)
+{
+    artifact_.manifest.traceChecksum = value;
+    artifact_.manifest.hasTraceChecksum = true;
+}
+
+void
 BenchReport::comparison(std::string quantity, std::string paper,
                         std::string measured)
 {

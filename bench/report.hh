@@ -59,6 +59,12 @@ class BenchReport
     /** Record the pipeline runHash fingerprint of the headline run. */
     void runHash(uint64_t value);
 
+    /** Record the workload-source spec string the bench ran. */
+    void workloadSource(const std::string &spec_string);
+
+    /** Record the boreas-trace-v1 checksum recorded/replayed. */
+    void traceChecksum(uint64_t value);
+
     /** Add one paper-vs-measured headline row. */
     void comparison(std::string quantity, std::string paper,
                     std::string measured);

@@ -42,25 +42,39 @@ fmtCrit(Celsius c)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opts = parseBenchArgs(argc, argv);
     BenchReport report("sec3_critical_temps");
     std::vector<const WorkloadSpec *> all;
     for (const auto &w : spec2006Suite())
         all.push_back(&w);
     const std::vector<GHz> freqs{4.0, 4.25, 4.5, 4.75, 5.0};
+    const std::unique_ptr<WorkloadSource> wl_override =
+        opts.hasWorkload() ? opts.makeSource() : nullptr;
+    if (wl_override)
+        report.workloadSource(wl_override->name());
+    const std::vector<const WorkloadSource *> override_set =
+        wl_override ? std::vector<const WorkloadSource *>{
+                          wl_override.get()}
+                    : std::vector<const WorkloadSource *>{};
 
     // ---- location study: critical temps on the top-4 core sensors.
     std::fprintf(stderr, "[bench] location study (4 sensors)...\n");
     SimulationPipeline pipeline;
     std::vector<CriticalTempStudy> by_sensor;
-    for (int sensor = 0; sensor < 4; ++sensor)
-        by_sensor.push_back(criticalTempStudy(pipeline, all, freqs,
-                                              sensor, kBenchSeed));
+    for (int sensor = 0; sensor < 4; ++sensor) {
+        by_sensor.push_back(
+            wl_override ? criticalTempStudy(pipeline, override_set,
+                                            freqs, sensor, kBenchSeed)
+                        : criticalTempStudy(pipeline, all, freqs,
+                                            sensor, kBenchSeed));
+    }
 
+    const size_t num_workloads = by_sensor[0].workloads.size();
     int vary13 = 0, vary20 = 0;
     double peak_var = 0.0;
-    for (size_t wi = 0; wi < all.size(); ++wi) {
+    for (size_t wi = 0; wi < num_workloads; ++wi) {
         double worst = 0.0;
         for (size_t fi = 0; fi < freqs.size(); ++fi) {
             Celsius lo = kNoCriticalTemp, hi = -kNoCriticalTemp;
@@ -91,10 +105,10 @@ main()
     std::printf("peak spread: %.1f C (paper: >37 C)\n", peak_var);
     report.comparison("workloads with >=13 C sensor spread", "27 of 27",
                       std::to_string(vary13) + " of " +
-                          std::to_string(all.size()));
+                          std::to_string(num_workloads));
     report.comparison("workloads with >20 C sensor spread", "13 of 27",
                       std::to_string(vary20) + " of " +
-                          std::to_string(all.size()));
+                          std::to_string(num_workloads));
     report.comparison("peak spread [C]", ">37",
                       TextTable::num(peak_var, 1));
 
@@ -109,14 +123,24 @@ main()
         PipelineConfig cfg;
         cfg.sensors.delaySteps = d;
         SimulationPipeline p(cfg);
-        by_delay.push_back(criticalTempStudy(
-            p, all, freqs, kBestSensorIndex, kBenchSeed));
+        by_delay.push_back(
+            wl_override ? criticalTempStudy(p, override_set, freqs,
+                                            kBestSensorIndex,
+                                            kBenchSeed)
+                        : criticalTempStudy(p, all, freqs,
+                                            kBestSensorIndex,
+                                            kBenchSeed));
     }
-    for (const char *name : {"gromacs", "sjeng", "libquantum"}) {
+    const std::vector<std::string> delay_names =
+        wl_override
+            ? std::vector<std::string>{wl_override->name()}
+            : std::vector<std::string>{"gromacs", "sjeng",
+                                       "libquantum"};
+    for (const std::string &name : delay_names) {
         for (size_t fi = 0; fi < freqs.size(); ++fi) {
             size_t wi = 0;
-            for (; wi < all.size(); ++wi)
-                if (all[wi]->name == name)
+            for (; wi < by_delay[0].workloads.size(); ++wi)
+                if (by_delay[0].workloads[wi] == name)
                     break;
             delay_table.addRow({name, TextTable::num(freqs[fi], 2),
                                 fmtCrit(by_delay[0].crit[wi][fi]),

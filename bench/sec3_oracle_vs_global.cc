@@ -26,17 +26,26 @@ using namespace boreas;
 using namespace boreas::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opts = parseBenchArgs(argc, argv);
     BenchReport report("sec3_oracle_vs_global");
     SimulationPipeline pipeline;
     std::vector<const WorkloadSpec *> all;
     for (const auto &w : spec2006Suite())
         all.push_back(&w);
 
+    const std::unique_ptr<WorkloadSource> wl_override =
+        opts.hasWorkload() ? opts.makeSource() : nullptr;
+    if (wl_override)
+        report.workloadSource(wl_override->name());
     std::fprintf(stderr, "[bench] sweeping for oracle selection...\n");
-    const SeveritySweep sweep = severitySweep(
-        pipeline, all, pipeline.vfTable().frequencies(), kBenchSeed);
+    const SeveritySweep sweep =
+        wl_override
+            ? severitySweep(pipeline, {wl_override.get()},
+                            pipeline.vfTable().frequencies(), kBenchSeed)
+            : severitySweep(pipeline, all,
+                            pipeline.vfTable().frequencies(), kBenchSeed);
     const GHz global = sweep.globalLimit();
 
     TextTable table;

@@ -8,14 +8,17 @@
 #include <iostream>
 
 #include "common/table.hh"
+#include "harness.hh"
 #include "power/vf_table.hh"
 #include "report.hh"
 
 using namespace boreas;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::requireNoWorkloadOverride(
+        bench::parseBenchArgs(argc, argv), "table1_vf_pairs");
     bench::BenchReport report("table1_vf_pairs");
     VFTable vf;
 

@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "common/table.hh"
+#include "harness.hh"
 #include "ml/gbt.hh"
 #include "report.hh"
 #include "workload/spec2006.hh"
@@ -15,8 +16,10 @@
 using namespace boreas;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::requireNoWorkloadOverride(
+        bench::parseBenchArgs(argc, argv), "table3_split");
     bench::BenchReport report("table3_split");
     std::printf("=== Table II: Boreas model parameters ===\n");
     const GBTParams params; // defaults are the paper's configuration

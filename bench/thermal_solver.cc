@@ -196,8 +196,12 @@ timeSolver(ThermalSolverKind kind, int steps)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // The solver comparison drives a synthetic power schedule directly
+    // into the grids; there is no workload dimension to override.
+    requireNoWorkloadOverride(parseBenchArgs(argc, argv),
+                              "thermal_solver");
     BenchReport report("thermal_solver");
     report.thermalSolver(thermalSolverName(ThermalSolverKind::Spectral));
 

@@ -82,6 +82,44 @@ severitySweep(SimulationPipeline &pipeline,
     return sweep;
 }
 
+SeveritySweep
+severitySweep(SimulationPipeline &pipeline,
+              const std::vector<const WorkloadSource *> &sources,
+              const std::vector<GHz> &freqs, uint64_t seed, int steps)
+{
+    boreas_assert(!sources.empty() && !freqs.empty(), "empty sweep spec");
+    SeveritySweep sweep;
+    sweep.freqs = freqs;
+    for (const WorkloadSource *s : sources)
+        sweep.workloads.push_back(s->name());
+    sweep.peak.assign(sources.size(),
+                      std::vector<double>(freqs.size(), 0.0));
+
+    // Same fan-out as the spec sweep; each point clones the source so
+    // concurrent grid points never share generator state.
+    constexpr int kSweepSeeds = 3;
+    const int64_t num_points =
+        static_cast<int64_t>(sources.size() * freqs.size());
+    ThreadPool::global().parallelFor(
+        0, num_points, 1, [&](int64_t lo, int64_t hi) {
+            SimulationPipeline local(pipeline.config());
+            for (int64_t p = lo; p < hi; ++p) {
+                const size_t wi = static_cast<size_t>(p) / freqs.size();
+                const size_t fi = static_cast<size_t>(p) % freqs.size();
+                const auto src = sources[wi]->clone();
+                double peak = 0.0;
+                for (int s = 0; s < kSweepSeeds; ++s) {
+                    const RunResult run = local.runConstantFrequency(
+                        *src, seed + sources[wi]->groupId() + 97 * s,
+                        freqs[fi], steps);
+                    peak = std::max(peak, run.peakSeverity());
+                }
+                sweep.peak[wi][fi] = peak;
+            }
+        });
+    return sweep;
+}
+
 CriticalTempTable
 CriticalTempStudy::globalTable() const
 {
@@ -132,6 +170,49 @@ criticalTempStudy(SimulationPipeline &pipeline,
                 for (GHz warm : warm_starts) {
                     const RunResult run = local.runConstantFrequency(
                         *w, seed + w->seedSalt, freqs[fi], steps, warm);
+                    for (const auto &rec : run.steps) {
+                        if (rec.severity.maxSeverity >= 1.0) {
+                            crit = std::min(
+                                crit,
+                                rec.sensorReadings[sensor_index]);
+                        }
+                    }
+                }
+                study.crit[wi][fi] = crit;
+            }
+        });
+    return study;
+}
+
+CriticalTempStudy
+criticalTempStudy(SimulationPipeline &pipeline,
+                  const std::vector<const WorkloadSource *> &sources,
+                  const std::vector<GHz> &freqs, int sensor_index,
+                  uint64_t seed, int steps)
+{
+    CriticalTempStudy study;
+    study.freqs = freqs;
+    for (const WorkloadSource *s : sources)
+        study.workloads.push_back(s->name());
+    study.crit.assign(sources.size(),
+                      std::vector<Celsius>(freqs.size(),
+                                           kNoCriticalTemp));
+
+    const std::vector<GHz> warm_starts{3.0, kBaselineFrequency};
+    const int64_t num_points =
+        static_cast<int64_t>(sources.size() * freqs.size());
+    ThreadPool::global().parallelFor(
+        0, num_points, 1, [&](int64_t lo, int64_t hi) {
+            SimulationPipeline local(pipeline.config());
+            for (int64_t p = lo; p < hi; ++p) {
+                const size_t wi = static_cast<size_t>(p) / freqs.size();
+                const size_t fi = static_cast<size_t>(p) % freqs.size();
+                const auto src = sources[wi]->clone();
+                Celsius crit = kNoCriticalTemp;
+                for (GHz warm : warm_starts) {
+                    const RunResult run = local.runConstantFrequency(
+                        *src, seed + sources[wi]->groupId(), freqs[fi],
+                        steps, warm);
                     for (const auto &rec : run.steps) {
                         if (rec.severity.maxSeverity >= 1.0) {
                             crit = std::min(

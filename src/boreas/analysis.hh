@@ -48,6 +48,17 @@ SeveritySweep severitySweep(SimulationPipeline &pipeline,
                             const std::vector<GHz> &freqs,
                             uint64_t seed, int steps = kTraceSteps);
 
+/**
+ * Same sweep over arbitrary workload sources (mix:, adversarial:,
+ * trace: — anything the registry builds). Each grid point runs a
+ * private clone of the source; rows are labeled with source names.
+ */
+SeveritySweep severitySweep(SimulationPipeline &pipeline,
+                            const std::vector<const WorkloadSource *> &
+                                sources,
+                            const std::vector<GHz> &freqs,
+                            uint64_t seed, int steps = kTraceSteps);
+
 /** Sentinel for "severity never reached 1.0 at this point". */
 constexpr Celsius kNoCriticalTemp =
     std::numeric_limits<Celsius>::infinity();
@@ -75,6 +86,14 @@ struct CriticalTempStudy
 CriticalTempStudy criticalTempStudy(SimulationPipeline &pipeline,
                                     const std::vector<
                                         const WorkloadSpec *> &workloads,
+                                    const std::vector<GHz> &freqs,
+                                    int sensor_index, uint64_t seed,
+                                    int steps = kTraceSteps);
+
+/** The same study over arbitrary workload sources. */
+CriticalTempStudy criticalTempStudy(SimulationPipeline &pipeline,
+                                    const std::vector<
+                                        const WorkloadSource *> &sources,
                                     const std::vector<GHz> &freqs,
                                     int sensor_index, uint64_t seed,
                                     int steps = kTraceSteps);

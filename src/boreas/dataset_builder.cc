@@ -1,10 +1,12 @@
 #include "boreas/dataset_builder.hh"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "ml/feature_schema.hh"
+#include "workload/registry.hh"
 
 namespace boreas
 {
@@ -65,7 +67,7 @@ emitPhaseSample(std::vector<PhaseThermalSample> &out,
  */
 struct TraceJob
 {
-    WorkloadSpec spec;
+    std::unique_ptr<WorkloadSource> source; ///< private to this job
     uint64_t seed = 0;
     GHz warm = 0.0;
     int group = 0;
@@ -90,7 +92,7 @@ runJob(SimulationPipeline &pipeline, const VFTable &vf,
 
     if (job.schedule.empty()) {
         const RunResult run = pipeline.runConstantFrequency(
-            job.spec, job.seed, job.constFreq, config.traceSteps,
+            *job.source, job.seed, job.constFreq, config.traceSteps,
             job.warm);
         for (int t = 0; t < last; ++t)
             emitInstance(out.severity, run, t, config, job.constFreq,
@@ -104,7 +106,8 @@ runJob(SimulationPipeline &pipeline, const VFTable &vf,
     }
 
     const RunResult run = pipeline.runWithSchedule(
-        job.spec, job.seed, job.schedule, config.traceSteps, job.warm);
+        *job.source, job.seed, job.schedule, config.traceSteps,
+        job.warm);
 
     // Instances only where the label window [t+1, t+horizon] runs at a
     // single frequency: t+1 on a decision boundary and every decision
@@ -142,6 +145,23 @@ buildTrainingData(SimulationPipeline &pipeline,
                   const DatasetConfig &config)
 {
     boreas_assert(!workloads.empty(), "no workloads");
+    std::vector<std::unique_ptr<WorkloadSource>> owned;
+    std::vector<const WorkloadSource *> sources;
+    owned.reserve(workloads.size());
+    sources.reserve(workloads.size());
+    for (const WorkloadSpec *spec : workloads) {
+        owned.push_back(makeSyntheticSource(*spec));
+        sources.push_back(owned.back().get());
+    }
+    return buildTrainingData(pipeline, sources, config);
+}
+
+BuiltData
+buildTrainingData(SimulationPipeline &pipeline,
+                  const std::vector<const WorkloadSource *> &sources,
+                  const DatasetConfig &config)
+{
+    boreas_assert(!sources.empty(), "no workload sources");
     boreas_assert(config.horizonSteps >= 1, "bad horizon");
 
     const VFTable &vf = pipeline.vfTable();
@@ -157,22 +177,22 @@ buildTrainingData(SimulationPipeline &pipeline,
 
     // Phase 1 (serial): enumerate every trace job in emission order.
     std::vector<TraceJob> jobs;
-    for (const WorkloadSpec *base : workloads) {
-        const int group = static_cast<int>(base->seedSalt);
+    for (const WorkloadSource *base : sources) {
+        // groupId() == seedSalt for the synthetic suite, so every
+        // seed below matches the former spec-based enumeration.
+        const uint64_t salt = base->groupId();
+        const int group = static_cast<int>(salt);
 
         // Constant-frequency traces, repeated per intensity augment.
         for (size_t ai = 0; ai < augments.size(); ++ai) {
-            WorkloadSpec aug = *base;
-            aug.thermalScale *= augments[ai];
             for (GHz f : freqs) {
                 for (int seg = 0; seg < config.constSegments; ++seg) {
                     TraceJob job;
-                    job.spec = aug;
+                    job.source = base->cloneScaled(augments[ai]);
                     job.group = group;
                     job.constFreq = f;
-                    job.seed = config.baseSeed +
-                        base->seedSalt * 1000 + vf.index(f) * 10 + seg +
-                        ai * 31337;
+                    job.seed = config.baseSeed + salt * 1000 +
+                        vf.index(f) * 10 + seg + ai * 31337;
                     // Diversify the initial thermal state: real traces
                     // are windows of much longer executions, so the
                     // die can be anywhere between cool and saturated
@@ -194,8 +214,8 @@ buildTrainingData(SimulationPipeline &pipeline,
                    kStepsPerDecision);
         for (int seg = 0; seg < config.walkSegments; ++seg) {
             TraceJob job;
-            job.spec = *base;
-            job.spec.thermalScale *= augments[seg % augments.size()];
+            job.source =
+                base->cloneScaled(augments[seg % augments.size()]);
             job.group = group;
             const int decisions =
                 (config.traceSteps + kStepsPerDecision - 1) /
@@ -212,8 +232,7 @@ buildTrainingData(SimulationPipeline &pipeline,
                     f = vf.stepUp(f);
             }
             job.schedule.resize(decisions);
-            job.seed = config.baseSeed + base->seedSalt * 1000 + 777 +
-                seg;
+            job.seed = config.baseSeed + salt * 1000 + 777 + seg;
             job.warm = vf.frequency(
                 walk_rng.uniformInt(0, vf.numPoints() - 1));
             jobs.push_back(std::move(job));

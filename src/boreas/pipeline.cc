@@ -6,6 +6,8 @@
 #include "common/hash.hh"
 #include "common/logging.hh"
 #include "obs/trace.hh"
+#include "workload/registry.hh"
+#include "workload/trace_io.hh"
 
 namespace boreas
 {
@@ -58,12 +60,15 @@ SimulationPipeline::SimulationPipeline(const PipelineConfig &config)
 }
 
 std::vector<Watts>
-SimulationPipeline::meanUnitPower(const WorkloadSpec &workload,
+SimulationPipeline::meanUnitPower(const WorkloadSource &source,
                                   uint64_t seed, GHz freq)
 {
-    // Average the workload's counter stream over a probe window with
-    // leakage evaluated at a warm, uniform estimate.
-    WorkloadRun probe(workload, seed);
+    // Average the source's counter stream over a probe window with
+    // leakage evaluated at a warm, uniform estimate. The probe runs
+    // on a fresh clone so the main run's noise streams are untouched.
+    const std::unique_ptr<WorkloadSource> probe = source.clone();
+    probe->reset(seed);
+    const int ncores = probe->numCores();
     const Volts volts = vf_.voltage(freq);
     const std::vector<Celsius> warm_temps(floorplan_.numUnits(),
                                           config_.thermal.ambient + 20.0);
@@ -71,15 +76,33 @@ SimulationPipeline::meanUnitPower(const WorkloadSpec &workload,
     constexpr int kProbeSteps = 64;
     std::vector<Watts> acc(floorplan_.numUnits(), 0.0);
     for (int s = 0; s < kProbeSteps; ++s) {
-        const PhaseParams phase = probe.currentPhase();
-        const CounterSet counters = core_.step(
-            phase, freq, config_.stepLength, probe.rng());
-        const auto p = power_.unitPower(
-            counters, config_.activeCore, /*intensity=*/1.0, freq,
-            volts, warm_temps, config_.stepLength);
+        std::vector<Watts> p;
+        if (ncores == 1) {
+            const PhaseParams phase = probe->stimulus(0).phase;
+            const CounterSet counters = core_.step(
+                phase, freq, config_.stepLength, probe->noiseRng(0));
+            p = power_.unitPower(
+                counters, config_.activeCore, /*intensity=*/1.0, freq,
+                volts, warm_temps, config_.stepLength);
+        } else {
+            std::vector<CounterSet> counters(ncores);
+            std::vector<const CounterSet *> ptrs(ncores, nullptr);
+            const std::vector<double> nominal(ncores, 1.0);
+            for (int c = 0; c < ncores; ++c) {
+                const CoreStimulus stim = probe->stimulus(c);
+                if (!stim.active)
+                    continue;
+                counters[c] = core_.step(stim.phase, freq,
+                                         config_.stepLength,
+                                         probe->noiseRng(c));
+                ptrs[c] = &counters[c];
+            }
+            p = power_.unitPowerMulti(ptrs, nominal, freq, volts,
+                                      warm_temps, config_.stepLength);
+        }
         for (size_t i = 0; i < acc.size(); ++i)
             acc[i] += p[i];
-        probe.advance(config_.stepLength);
+        probe->advance(config_.stepLength);
     }
     for (auto &w : acc)
         w /= kProbeSteps;
@@ -90,19 +113,47 @@ void
 SimulationPipeline::start(const WorkloadSpec &workload, uint64_t seed,
                           GHz warm_freq_override)
 {
-    run_ = std::make_unique<WorkloadRun>(workload, seed);
+    owned_ = makeSyntheticSource(workload);
+    startSource(*owned_, seed, warm_freq_override);
+}
+
+void
+SimulationPipeline::start(WorkloadSource &source, uint64_t seed,
+                          GHz warm_freq_override)
+{
+    owned_.reset();
+    startSource(source, seed, warm_freq_override);
+}
+
+void
+SimulationPipeline::startSource(WorkloadSource &source, uint64_t seed,
+                                GHz warm_freq_override)
+{
+    boreas_assert(source.numCores() >= 1 &&
+                      source.numCores() <= config_.floorplan.numCores,
+                  "source '%s' drives %d cores, die has %d",
+                  source.name().c_str(), source.numCores(),
+                  config_.floorplan.numCores);
+    source_ = &source;
+    source.reset(seed);
     sensorRng_ = Rng(seed ^ 0xb0a3a5c1d2e3f405ULL);
     stepIndex_ = 0;
     runHash_ = 0;
 
     grid_.reset(config_.thermal.ambient);
+    std::vector<Watts> warm_power;
     if (config_.warmStart) {
         const GHz warm_freq = warm_freq_override > 0.0
             ? warm_freq_override : config_.warmStartFreq;
-        const auto mean_power = meanUnitPower(workload, seed ^ 0x5eedULL,
-                                              warm_freq);
+        // Trace replays carry the recorded warm power: the live probe
+        // draws from the generator, which a recording cannot re-run.
+        const std::vector<Watts> *recorded = source.recordedWarmPower();
+        const auto mean_power = recorded
+            ? *recorded
+            : meanUnitPower(source, seed ^ 0x5eedULL, warm_freq);
         grid_.setUnitPower(mean_power);
         grid_.solveSteadyState();
+        warm_power = mean_power;
     }
 
     // Sensors start in equilibrium with their local silicon.
@@ -111,41 +162,90 @@ SimulationPipeline::start(const WorkloadSpec &workload, uint64_t seed,
             grid_.temperatureAt(
                 sensors_.sensor(static_cast<int>(i)).location()));
     }
+
+    if (recorder_) {
+        recorder_->onRunStart(source.name(), source.numCores(),
+                              config_.stepLength, seed,
+                              std::move(warm_power));
+    }
 }
 
 StepRecord
 SimulationPipeline::step(GHz freq)
 {
-    boreas_assert(run_ != nullptr, "step() before start()");
+    boreas_assert(source_ != nullptr, "step() before start()");
     obs::MetricsRegistry::global().add("pipeline.steps");
     const Volts volts = vf_.voltage(freq);
+    const int ncores = source_->numCores();
 
-    const PhaseParams phase = run_->currentPhase();
-    // Residual switching-activity noise: data-dependent energy per
-    // event that no counter captures. Applied to power only (the
-    // counter-visible activity scale lives in phase.intensity and is
-    // consumed by the core model).
-    double residual = 1.0;
-    if (phase.intensityNoise > 0.0) {
-        residual =
-            std::exp(run_->rng().normal(0.0, phase.intensityNoise));
+    std::vector<CoreStimulus> stimuli(ncores);
+    for (int c = 0; c < ncores; ++c)
+        stimuli[c] = source_->stimulus(c);
+
+    // The recorder tap runs before any pipeline draw: replay restores
+    // these exact pre-step Rng snapshots, so the residual and
+    // core-model draws below reproduce bit-identically.
+    if (recorder_) {
+        std::vector<TraceCoreRecord> cores(ncores);
+        for (int c = 0; c < ncores; ++c) {
+            cores[c].active = stimuli[c].active;
+            cores[c].rng = source_->noiseRng(c).saveState();
+            cores[c].phase = stimuli[c].phase;
+        }
+        recorder_->recordStep(static_cast<uint32_t>(stepIndex_),
+                              std::move(cores));
     }
+
     StepRecord rec;
     rec.step = stepIndex_;
     rec.frequency = freq;
     rec.voltage = volts;
+
+    std::vector<CounterSet> core_counters(ncores);
+    std::vector<double> residuals(ncores, 1.0);
     {
         obs::ScopedTimer timer("stage.arch");
-        rec.counters = core_.step(phase, freq, config_.stepLength,
-                                  run_->rng());
+        for (int c = 0; c < ncores; ++c) {
+            if (!stimuli[c].active)
+                continue;
+            const PhaseParams &phase = stimuli[c].phase;
+            // Residual switching-activity noise: data-dependent
+            // energy per event that no counter captures. Applied to
+            // power only (the counter-visible activity scale lives in
+            // phase.intensity and is consumed by the core model).
+            if (phase.intensityNoise > 0.0) {
+                residuals[c] = std::exp(source_->noiseRng(c).normal(
+                    0.0, phase.intensityNoise));
+            }
+            core_counters[c] = core_.step(phase, freq,
+                                          config_.stepLength,
+                                          source_->noiseRng(c));
+        }
     }
+    rec.counters = core_counters[0];
+    if (ncores > 1)
+        rec.coreCounters = core_counters;
 
     const std::vector<Celsius> &unit_temps = grid_.unitTemps();
     {
         obs::ScopedTimer timer("stage.power");
-        const auto unit_power = power_.unitPower(
-            rec.counters, config_.activeCore, residual, freq, volts,
-            unit_temps, config_.stepLength);
+        // Single-core runs keep the original power path so their
+        // floating-point op order (hence runHash) is unchanged.
+        std::vector<Watts> unit_power;
+        if (ncores == 1 && stimuli[0].active) {
+            unit_power = power_.unitPower(
+                rec.counters, config_.activeCore, residuals[0], freq,
+                volts, unit_temps, config_.stepLength);
+        } else {
+            std::vector<const CounterSet *> ptrs(ncores, nullptr);
+            for (int c = 0; c < ncores; ++c) {
+                if (stimuli[c].active)
+                    ptrs[c] = &core_counters[c];
+            }
+            unit_power = power_.unitPowerMulti(ptrs, residuals, freq,
+                                               volts, unit_temps,
+                                               config_.stepLength);
+        }
         rec.totalPower = PowerModel::totalPower(unit_power);
         grid_.setUnitPower(unit_power);
     }
@@ -199,6 +299,17 @@ SimulationPipeline::step(GHz freq)
         hasher.add(rec.sensorTrue);
         hasher.add(grid_.siliconTemps());
         hasher.add(grid_.sinkTemp());
+        // Multi-core sources append the other cores' telemetry (and
+        // activity) after the legacy fields, leaving every
+        // single-core hash byte-identical to earlier releases.
+        if (ncores > 1) {
+            for (int c = 1; c < ncores; ++c) {
+                for (double v : rec.coreCounters[c].values)
+                    hasher.add(v);
+            }
+            for (int c = 0; c < ncores; ++c)
+                hasher.add(static_cast<int>(stimuli[c].active));
+        }
         rec.stateHash = hasher.digest();
 
         Fnv1a combine;
@@ -207,18 +318,14 @@ SimulationPipeline::step(GHz freq)
         runHash_ = combine.digest();
     }
 
-    run_->advance(config_.stepLength);
+    source_->advance(config_.stepLength);
     ++stepIndex_;
     return rec;
 }
 
 RunResult
-SimulationPipeline::runConstantFrequency(const WorkloadSpec &workload,
-                                         uint64_t seed, GHz freq,
-                                         int steps,
-                                         GHz warm_freq_override)
+SimulationPipeline::runConstInner(GHz freq, int steps)
 {
-    start(workload, seed, warm_freq_override);
     RunResult result;
     result.steps.reserve(steps);
     for (int s = 0; s < steps; ++s)
@@ -230,12 +337,29 @@ SimulationPipeline::runConstantFrequency(const WorkloadSpec &workload,
 }
 
 RunResult
-SimulationPipeline::runWithController(const WorkloadSpec &workload,
-                                      uint64_t seed,
-                                      FrequencyController &controller,
-                                      GHz initial_freq, int steps)
+SimulationPipeline::runConstantFrequency(const WorkloadSpec &workload,
+                                         uint64_t seed, GHz freq,
+                                         int steps,
+                                         GHz warm_freq_override)
 {
-    start(workload, seed);
+    start(workload, seed, warm_freq_override);
+    return runConstInner(freq, steps);
+}
+
+RunResult
+SimulationPipeline::runConstantFrequency(WorkloadSource &source,
+                                         uint64_t seed, GHz freq,
+                                         int steps,
+                                         GHz warm_freq_override)
+{
+    start(source, seed, warm_freq_override);
+    return runConstInner(freq, steps);
+}
+
+RunResult
+SimulationPipeline::runControllerInner(FrequencyController &controller,
+                                       GHz initial_freq, int steps)
+{
     controller.reset();
 
     RunResult result;
@@ -258,13 +382,30 @@ SimulationPipeline::runWithController(const WorkloadSpec &workload,
 }
 
 RunResult
-SimulationPipeline::runWithSchedule(const WorkloadSpec &workload,
-                                    uint64_t seed,
-                                    const std::vector<GHz> &schedule,
-                                    int steps, GHz warm_freq_override)
+SimulationPipeline::runWithController(const WorkloadSpec &workload,
+                                      uint64_t seed,
+                                      FrequencyController &controller,
+                                      GHz initial_freq, int steps)
+{
+    start(workload, seed);
+    return runControllerInner(controller, initial_freq, steps);
+}
+
+RunResult
+SimulationPipeline::runWithController(WorkloadSource &source,
+                                      uint64_t seed,
+                                      FrequencyController &controller,
+                                      GHz initial_freq, int steps)
+{
+    start(source, seed);
+    return runControllerInner(controller, initial_freq, steps);
+}
+
+RunResult
+SimulationPipeline::runScheduleInner(const std::vector<GHz> &schedule,
+                                     int steps)
 {
     boreas_assert(!schedule.empty(), "empty frequency schedule");
-    start(workload, seed, warm_freq_override);
     RunResult result;
     result.steps.reserve(steps);
     for (int s = 0; s < steps; ++s) {
@@ -275,6 +416,26 @@ SimulationPipeline::runWithSchedule(const WorkloadSpec &workload,
     }
     result.decidedFreqs = schedule;
     return result;
+}
+
+RunResult
+SimulationPipeline::runWithSchedule(const WorkloadSpec &workload,
+                                    uint64_t seed,
+                                    const std::vector<GHz> &schedule,
+                                    int steps, GHz warm_freq_override)
+{
+    start(workload, seed, warm_freq_override);
+    return runScheduleInner(schedule, steps);
+}
+
+RunResult
+SimulationPipeline::runWithSchedule(WorkloadSource &source,
+                                    uint64_t seed,
+                                    const std::vector<GHz> &schedule,
+                                    int steps, GHz warm_freq_override)
+{
+    start(source, seed, warm_freq_override);
+    return runScheduleInner(schedule, steps);
 }
 
 } // namespace boreas

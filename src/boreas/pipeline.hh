@@ -31,10 +31,13 @@
 #include "sensors/placement.hh"
 #include "sensors/sensor.hh"
 #include "thermal/thermal_grid.hh"
+#include "workload/source.hh"
 #include "workload/workload.hh"
 
 namespace boreas
 {
+
+class TraceRecorder;
 
 /** Configuration of the full pipeline. */
 struct PipelineConfig
@@ -60,7 +63,14 @@ struct StepRecord
     int step = 0;
     GHz frequency = 0.0;
     Volts voltage = 0.0;
+    /** Telemetry of core 0 (the only core for single-core sources). */
     CounterSet counters;
+    /**
+     * Per-core telemetry when the source drives several cores
+     * (coreCounters[0] duplicates `counters`); left empty on
+     * single-core runs so their records stay unchanged.
+     */
+    std::vector<CounterSet> coreCounters;
     Watts totalPower = 0.0;
     SeveritySnapshot severity;
     std::vector<Celsius> sensorReadings; ///< delayed
@@ -113,6 +123,29 @@ class SimulationPipeline
     void start(const WorkloadSpec &workload, uint64_t seed,
                GHz warm_freq_override = 0.0);
 
+    /**
+     * Begin a run driven by an arbitrary workload source (the spec
+     * overload wraps the spec as a single-core synthetic source and
+     * forwards here). The source is reset(seed) and must outlive the
+     * run; it may drive up to the floorplan's core count.
+     */
+    void start(WorkloadSource &source, uint64_t seed,
+               GHz warm_freq_override = 0.0);
+
+    /**
+     * Install a trace recorder tap (nullptr detaches). While set,
+     * every start() reports the run parameters and every step()
+     * records the per-core stimuli + pre-step Rng snapshots that
+     * boreas-trace-v1 replay needs (workload/trace_io.hh).
+     */
+    void setTraceRecorder(TraceRecorder *recorder)
+    {
+        recorder_ = recorder;
+    }
+
+    /** The source driving the current run (nullptr before start()). */
+    const WorkloadSource *source() const { return source_; }
+
     /** Advance one telemetry step at the given frequency. */
     StepRecord step(GHz freq);
 
@@ -135,12 +168,22 @@ class SimulationPipeline
                                    int steps = kTraceSteps,
                                    GHz warm_freq_override = 0.0);
 
+    RunResult runConstantFrequency(WorkloadSource &source,
+                                   uint64_t seed, GHz freq,
+                                   int steps = kTraceSteps,
+                                   GHz warm_freq_override = 0.0);
+
     /**
      * Closed-loop run: the controller is consulted every
      * kStepsPerDecision steps, starting at initial_freq.
      */
     RunResult runWithController(const WorkloadSpec &workload,
                                 uint64_t seed,
+                                FrequencyController &controller,
+                                GHz initial_freq,
+                                int steps = kTraceSteps);
+
+    RunResult runWithController(WorkloadSource &source, uint64_t seed,
                                 FrequencyController &controller,
                                 GHz initial_freq,
                                 int steps = kTraceSteps);
@@ -155,11 +198,26 @@ class SimulationPipeline
                               int steps = kTraceSteps,
                               GHz warm_freq_override = 0.0);
 
+    RunResult runWithSchedule(WorkloadSource &source, uint64_t seed,
+                              const std::vector<GHz> &schedule,
+                              int steps = kTraceSteps,
+                              GHz warm_freq_override = 0.0);
+
   private:
-    /** Mean per-unit power of the workload at a frequency (for warm
-     *  start), using ambient leakage. */
-    std::vector<Watts> meanUnitPower(const WorkloadSpec &workload,
+    /** Common start() body once the source to drive is known. */
+    void startSource(WorkloadSource &source, uint64_t seed,
+                     GHz warm_freq_override);
+
+    /** Mean per-unit power of the source at a frequency (for warm
+     *  start), probed on a fresh clone with ambient leakage. */
+    std::vector<Watts> meanUnitPower(const WorkloadSource &source,
                                      uint64_t seed, GHz freq);
+
+    RunResult runConstInner(GHz freq, int steps);
+    RunResult runControllerInner(FrequencyController &controller,
+                                 GHz initial_freq, int steps);
+    RunResult runScheduleInner(const std::vector<GHz> &schedule,
+                               int steps);
 
     PipelineConfig config_;
     Floorplan floorplan_;
@@ -170,7 +228,9 @@ class SimulationPipeline
     SeverityModel severity_;
     SensorBank sensors_;
 
-    std::unique_ptr<WorkloadRun> run_;
+    std::unique_ptr<WorkloadSource> owned_; ///< spec-overload wrapper
+    WorkloadSource *source_ = nullptr;      ///< driving the current run
+    TraceRecorder *recorder_ = nullptr;     ///< optional recording tap
     Rng sensorRng_{0};
     int stepIndex_ = 0;
     uint64_t runHash_ = 0;

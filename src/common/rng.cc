@@ -113,4 +113,24 @@ Rng::shuffle(std::vector<int> &v)
     }
 }
 
+RngState
+Rng::saveState() const
+{
+    RngState st;
+    for (int i = 0; i < 4; ++i)
+        st.s[i] = s_[i];
+    st.spare = spare_;
+    st.haveSpare = haveSpare_;
+    return st;
+}
+
+void
+Rng::restoreState(const RngState &state)
+{
+    for (int i = 0; i < 4; ++i)
+        s_[i] = state.s[i];
+    spare_ = state.spare;
+    haveSpare_ = state.haveSpare;
+}
+
 } // namespace boreas

@@ -17,6 +17,28 @@
 namespace boreas
 {
 
+/**
+ * Complete serialized state of an Rng: the xoshiro256** words plus the
+ * Box-Muller spare. Capturing and restoring it reproduces the exact
+ * draw stream from that point — the mechanism trace replay uses to
+ * re-synchronize a noise stream without re-running the generator-side
+ * draws that live runs interleave (workload/trace_io.hh).
+ */
+struct RngState
+{
+    uint64_t s[4] = {0, 0, 0, 0};
+    double spare = 0.0;
+    bool haveSpare = false;
+
+    bool
+    operator==(const RngState &o) const
+    {
+        return s[0] == o.s[0] && s[1] == o.s[1] && s[2] == o.s[2] &&
+            s[3] == o.s[3] && spare == o.spare &&
+            haveSpare == o.haveSpare;
+    }
+};
+
 /** Deterministic xoshiro256** PRNG with convenience distributions. */
 class Rng
 {
@@ -51,6 +73,12 @@ class Rng
 
     /** Fisher-Yates shuffle of an index vector. */
     void shuffle(std::vector<int> &v);
+
+    /** Snapshot the full generator state (bitwise). */
+    RngState saveState() const;
+
+    /** Restore a snapshot taken with saveState(). */
+    void restoreState(const RngState &state);
 
   private:
     uint64_t s_[4];

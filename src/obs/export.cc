@@ -123,6 +123,12 @@ emitManifest(std::ostream &os, const RunManifest &m)
     if (!m.thermalSolver.empty())
         os << "    \"thermal_solver\": \"" << escape(m.thermalSolver)
            << "\",\n";
+    if (!m.workloadSource.empty())
+        os << "    \"workload_source\": \"" << escape(m.workloadSource)
+           << "\",\n";
+    if (m.hasTraceChecksum)
+        os << "    \"trace_checksum\": \"" << hexString(m.traceChecksum)
+           << "\",\n";
     if (m.hasRunHash)
         os << "    \"run_hash\": \"" << hexString(m.runHash) << "\",\n";
     os << "    \"wall_s\": " << m.wallSeconds << ",\n"

@@ -31,6 +31,18 @@ struct RunManifest
      * does not run the thermal stage.
      */
     std::string thermalSolver;
+    /**
+     * Workload-source spec string driving the run (registry grammar,
+     * e.g. "synthetic:spec2006/astar" or "adversarial:corehop"); ""
+     * for benches that sweep whole suites rather than one source.
+     */
+    std::string workloadSource;
+    /**
+     * boreas-trace-v1 payload checksum when the run recorded or
+     * replayed a trace (valid when hasTraceChecksum).
+     */
+    uint64_t traceChecksum = 0;
+    bool hasTraceChecksum = false;
     /** Base RNG seed of the run. */
     uint64_t seed = 0;
     /** Pipeline runHash fingerprint (valid when hasRunHash). */

@@ -205,6 +205,66 @@ PowerModel::unitPower(const CounterSet &counters, int active_core,
     return power;
 }
 
+std::vector<Watts>
+PowerModel::unitPowerMulti(
+    const std::vector<const CounterSet *> &core_counters,
+    const std::vector<double> &intensities, GHz freq, Volts volts,
+    const std::vector<Celsius> &unit_temps, Seconds dt) const
+{
+    const auto &units = floorplan_->units();
+    boreas_assert(unit_temps.size() == units.size(),
+                  "unit temp vector size %zu != %zu units",
+                  unit_temps.size(), units.size());
+    boreas_assert(intensities.size() == core_counters.size(),
+                  "intensity vector size %zu != %zu cores",
+                  intensities.size(), core_counters.size());
+    boreas_assert(dt > 0.0 && freq > 0.0 && volts > 0.0,
+                  "bad operating point");
+
+    const double vsq = (volts / params_.vNom) * (volts / params_.vNom);
+    const double fscale = freq / params_.fRef;
+    const int ncores = static_cast<int>(core_counters.size());
+
+    std::vector<Watts> power(units.size(), 0.0);
+    for (size_t i = 0; i < units.size(); ++i) {
+        const FunctionalUnit &u = units[i];
+        double p = 0.0;
+
+        if (u.coreId >= 0) {
+            // Per-core unit: driven by its own core's telemetry.
+            const CounterSet *c = u.coreId < ncores
+                ? core_counters[u.coreId] : nullptr;
+            if (c) {
+                const double intensity = intensities[u.coreId];
+                p += eventEnergy(u.kind, *c) * intensity *
+                    params_.activityScale * vsq / dt;
+                p += dutyOf(u.kind, *c) * clockPower(u.kind) * vsq *
+                    fscale * intensity;
+            }
+        } else {
+            // Shared uncore: every active core's traffic switches it,
+            // while its clock tree runs at the busiest requester's
+            // duty rather than the sum (it cannot exceed full duty).
+            double duty = 0.0;
+            for (int core = 0; core < ncores; ++core) {
+                const CounterSet *c = core_counters[core];
+                if (!c)
+                    continue;
+                p += eventEnergy(u.kind, *c) * intensities[core] *
+                    params_.activityScale * vsq / dt;
+                duty = std::max(duty,
+                                dutyOf(u.kind, *c) * intensities[core]);
+            }
+            p += duty * clockPower(u.kind) * vsq * fscale;
+        }
+        p += idlePower(u.kind) * vsq * fscale;
+        p += leakagePower(static_cast<int>(i), unit_temps[i], volts);
+
+        power[i] = p;
+    }
+    return power;
+}
+
 Watts
 PowerModel::leakagePower(int unit_idx, Celsius temp, Volts volts) const
 {

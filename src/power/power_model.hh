@@ -75,6 +75,22 @@ class PowerModel
                                  const std::vector<Celsius> &unit_temps,
                                  Seconds dt) const;
 
+    /**
+     * Power of every floorplan unit with several cores executing at
+     * once (mix:/adversarial: sources). `core_counters[c]` is core
+     * c's telemetry for the interval, or nullptr if the core idles;
+     * `intensities[c]` is its residual energy multiplier. Cores past
+     * core_counters.size() idle. Shared uncore units accumulate every
+     * active core's event energy, and their clock duty saturates at
+     * the busiest requester. The single-core unitPower() overload
+     * remains the (bit-exact) path when only one core runs.
+     */
+    std::vector<Watts>
+    unitPowerMulti(const std::vector<const CounterSet *> &core_counters,
+                   const std::vector<double> &intensities, GHz freq,
+                   Volts volts, const std::vector<Celsius> &unit_temps,
+                   Seconds dt) const;
+
     /** Leakage power of one unit at the given temperature and voltage. */
     Watts leakagePower(int unit_idx, Celsius temp, Volts volts) const;
 

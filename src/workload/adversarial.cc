@@ -1,0 +1,342 @@
+#include "workload/adversarial.hh"
+
+#include <cmath>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+#include "workload/mix.hh"
+#include "workload/workload.hh"
+
+namespace boreas
+{
+
+namespace
+{
+
+constexpr uint64_t kAdversarialCoreSalt = 0x9ddfea08eb382d69ULL;
+
+uint64_t
+nameHash(const std::string &name)
+{
+    Fnv1a hasher;
+    hasher.addBytes(name.data(), name.size());
+    return hasher.digest();
+}
+
+/**
+ * The power-virus phase program: near-peak IPC with every execution
+ * cluster lit, alternating with a short cooldown so the burst edge
+ * recurs throughout the trace. Zero duration jitter keeps co-running
+ * copies switching in lockstep (the synchronized worst case).
+ */
+WorkloadSpec
+powerVirusSpec()
+{
+    WorkloadSpec spec;
+    spec.name = "powervirus";
+    spec.phases = {
+        {{.baseCpi = 0.3, .fpFraction = 0.45, .mulFraction = 0.08,
+          .loadFraction = 0.28, .storeFraction = 0.12,
+          .branchFraction = 0.05, .branchMpki = 0.3, .l1dMpki = 2,
+          .l2Mpki = 0.3, .l3Mpki = 0.05, .activityNoise = 0.01,
+          .intensity = 1.6},
+         0.6e-3, 0.0},
+        {{.baseCpi = 1.2, .fpFraction = 0.05, .loadFraction = 0.30,
+          .storeFraction = 0.10, .branchFraction = 0.10,
+          .branchMpki = 2.0, .l1dMpki = 12, .l2Mpki = 4, .l3Mpki = 1.5,
+          .activityNoise = 0.01, .intensity = 0.5},
+         0.5e-3, 0.0},
+    };
+    spec.pattern = PhasePattern::Cyclic;
+    spec.thermalScale = 1.8;
+    spec.seedSalt = 201;
+    return spec;
+}
+
+/** The die-wide uniform soak the ambient scenarios modulate. */
+WorkloadSpec
+soakSpec()
+{
+    WorkloadSpec spec;
+    spec.name = "ambientsoak";
+    spec.phases = {
+        {{.baseCpi = 0.6, .fpFraction = 0.30, .loadFraction = 0.28,
+          .storeFraction = 0.11, .branchFraction = 0.08,
+          .branchMpki = 2.0, .l1dMpki = 6, .l2Mpki = 1.5, .l3Mpki = 0.4,
+          .activityNoise = 0.01, .intensityNoise = 0.02,
+          .intensity = 1.0},
+         10e-3, 0.05},
+    };
+    spec.pattern = PhasePattern::Cyclic;
+    spec.thermalScale = 1.1;
+    spec.seedSalt = 202;
+    return spec;
+}
+
+/**
+ * A power-virus hotspot that migrates to the next core every
+ * `hopPeriod`: only one core is active at a time, so no per-site
+ * sensor accumulates the history a threshold controller leans on.
+ */
+class CoreHopSource final : public WorkloadSource
+{
+  public:
+    /** Restricts the copy-for-clone constructor to clone()/cloneScaled(). */
+    struct CloneTag
+    {
+    };
+
+    CoreHopSource()
+        : name_("adversarial:corehop"), groupId_(nameHash(name_)),
+          virus_(powerVirusSpec())
+    {
+    }
+
+    CoreHopSource(const CoreHopSource &other, CloneTag)
+        : name_(other.name_), groupId_(other.groupId_),
+          virus_(other.virus_)
+    {
+    }
+
+    const std::string &
+    name() const override
+    {
+        return name_;
+    }
+
+    int
+    numCores() const override
+    {
+        return kCores;
+    }
+
+    uint64_t
+    groupId() const override
+    {
+        return groupId_;
+    }
+
+    void
+    reset(uint64_t seed) override
+    {
+        elapsed_ = 0.0;
+        runs_.clear();
+        runs_.reserve(kCores);
+        for (int i = 0; i < kCores; ++i)
+            runs_.emplace_back(
+                virus_, seed ^ ((static_cast<uint64_t>(i) + 1) *
+                                kAdversarialCoreSalt));
+    }
+
+    CoreStimulus
+    stimulus(int core) const override
+    {
+        boreas_assert(core >= 0 && core < kCores, "bad core %d", core);
+        boreas_assert(!runs_.empty(), "stimulus() before reset()");
+        if (core != hotCore())
+            return {PhaseParams{}, false};
+        return {runs_[core].currentPhase(), true};
+    }
+
+    Rng &
+    noiseRng(int core) override
+    {
+        boreas_assert(core >= 0 && core < kCores, "bad core %d", core);
+        boreas_assert(!runs_.empty(), "noiseRng() before reset()");
+        return runs_[core].rng();
+    }
+
+    void
+    advance(Seconds dt) override
+    {
+        // Only the hot core's program consumes workload time; the
+        // virus resumes where it left off when the hotspot returns.
+        runs_[hotCore()].advance(dt);
+        elapsed_ += dt;
+    }
+
+    std::unique_ptr<WorkloadSource>
+    clone() const override
+    {
+        return std::make_unique<CoreHopSource>(*this, CloneTag{});
+    }
+
+    std::unique_ptr<WorkloadSource>
+    cloneScaled(double intensity_mult) const override
+    {
+        auto copy = std::make_unique<CoreHopSource>(*this, CloneTag{});
+        copy->virus_.thermalScale *= intensity_mult;
+        return copy;
+    }
+
+  private:
+    int
+    hotCore() const
+    {
+        return static_cast<int>(elapsed_ / kHopPeriod) % kCores;
+    }
+
+    static constexpr int kCores = 4;
+    static constexpr Seconds kHopPeriod = 3e-3;
+
+    std::string name_;
+    uint64_t groupId_ = 0;
+    WorkloadSpec virus_;
+    std::vector<WorkloadRun> runs_; ///< empty until reset()
+    Seconds elapsed_ = 0.0;
+};
+
+/**
+ * The die-wide soak with a deterministic intensity envelope: a linear
+ * ramp (ambient/cooling drift) or a sinusoidal sweep. All cores run
+ * the soak program; the envelope multiplies each stimulus' intensity.
+ */
+class ModulatedSoakSource final : public WorkloadSource
+{
+  public:
+    enum class Envelope
+    {
+        Ramp, ///< low -> high linearly over kRampTime, then holds
+        Sweep ///< sinusoid between low and high, period kSweepPeriod
+    };
+
+    explicit ModulatedSoakSource(Envelope envelope)
+        : name_(envelope == Envelope::Ramp ? "adversarial:ambientramp"
+                                           : "adversarial:ambientsweep"),
+          groupId_(nameHash(name_)), envelope_(envelope),
+          soak_(soakSpec())
+    {
+    }
+
+    const std::string &
+    name() const override
+    {
+        return name_;
+    }
+
+    int
+    numCores() const override
+    {
+        return kCores;
+    }
+
+    uint64_t
+    groupId() const override
+    {
+        return groupId_;
+    }
+
+    void
+    reset(uint64_t seed) override
+    {
+        elapsed_ = 0.0;
+        runs_.clear();
+        runs_.reserve(kCores);
+        for (int i = 0; i < kCores; ++i)
+            runs_.emplace_back(
+                soak_, seed ^ ((static_cast<uint64_t>(i) + 1) *
+                               kAdversarialCoreSalt));
+    }
+
+    CoreStimulus
+    stimulus(int core) const override
+    {
+        boreas_assert(core >= 0 && core < kCores, "bad core %d", core);
+        boreas_assert(!runs_.empty(), "stimulus() before reset()");
+        PhaseParams phase = runs_[core].currentPhase();
+        phase.intensity *= envelopeValue();
+        return {phase, true};
+    }
+
+    Rng &
+    noiseRng(int core) override
+    {
+        boreas_assert(core >= 0 && core < kCores, "bad core %d", core);
+        boreas_assert(!runs_.empty(), "noiseRng() before reset()");
+        return runs_[core].rng();
+    }
+
+    void
+    advance(Seconds dt) override
+    {
+        for (WorkloadRun &run : runs_)
+            run.advance(dt);
+        elapsed_ += dt;
+    }
+
+    std::unique_ptr<WorkloadSource>
+    clone() const override
+    {
+        return std::make_unique<ModulatedSoakSource>(envelope_);
+    }
+
+    std::unique_ptr<WorkloadSource>
+    cloneScaled(double intensity_mult) const override
+    {
+        auto copy = std::make_unique<ModulatedSoakSource>(envelope_);
+        copy->soak_.thermalScale *= intensity_mult;
+        return copy;
+    }
+
+  private:
+    double
+    envelopeValue() const
+    {
+        if (envelope_ == Envelope::Ramp) {
+            const double x = std::min(1.0, elapsed_ / kRampTime);
+            return kLow + (kHigh - kLow) * x;
+        }
+        const double mid = 0.5 * (kLow + kHigh);
+        const double amp = 0.5 * (kHigh - kLow);
+        return mid + amp * std::sin(2.0 * M_PI * elapsed_ /
+                                    kSweepPeriod);
+    }
+
+    static constexpr int kCores = 4;
+    static constexpr double kLow = 0.6;
+    static constexpr double kHigh = 1.35;
+    /** Ramp spans most of a 150-step (12 ms) trace. */
+    static constexpr Seconds kRampTime = 9e-3;
+    static constexpr Seconds kSweepPeriod = 6e-3;
+
+    std::string name_;
+    uint64_t groupId_ = 0;
+    Envelope envelope_;
+    WorkloadSpec soak_;
+    std::vector<WorkloadRun> runs_; ///< empty until reset()
+    Seconds elapsed_ = 0.0;
+};
+
+} // namespace
+
+std::unique_ptr<WorkloadSource>
+makeAdversarialSource(const std::string &scenario)
+{
+    if (scenario == "powervirus") {
+        std::vector<MixProgram> programs(4, MixProgram{powerVirusSpec(),
+                                                       0.0});
+        return std::make_unique<MixSource>("adversarial:powervirus",
+                                           std::move(programs));
+    }
+    if (scenario == "corehop")
+        return std::make_unique<CoreHopSource>();
+    if (scenario == "ambientramp")
+        return std::make_unique<ModulatedSoakSource>(
+            ModulatedSoakSource::Envelope::Ramp);
+    if (scenario == "ambientsweep")
+        return std::make_unique<ModulatedSoakSource>(
+            ModulatedSoakSource::Envelope::Sweep);
+    boreas_fatal("unknown adversarial scenario '%s' (expected "
+                 "powervirus|corehop|ambientramp|ambientsweep)",
+                 scenario.c_str());
+}
+
+const std::vector<std::string> &
+adversarialScenarios()
+{
+    static const std::vector<std::string> kScenarios = {
+        "powervirus", "corehop", "ambientramp", "ambientsweep"};
+    return kScenarios;
+}
+
+} // namespace boreas

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Adversarial stimulus sources (adversarial:) — scenarios designed to
+ * stress the controller rather than model a real application:
+ *
+ *   powervirus   all cores execute synchronized maximum-activity
+ *                bursts (di/dt + thermal worst case);
+ *   corehop      a power-virus hotspot migrates core to core every
+ *                few milliseconds, defeating per-site sensor history;
+ *   ambientramp  a die-wide uniform soak whose intensity ramps up
+ *                monotonically over the trace;
+ *   ambientsweep the same soak swept sinusoidally.
+ *
+ * The ambient scenarios model ambient/cooling drift through the
+ * workload interface as a uniform soak-power modulation: the thermal
+ * solvers treat ambient as a constant baked into their precomputed
+ * plans (thermal/spectral_solver.cc), so a quasi-static power ramp is
+ * the equivalent stimulus the pipeline can express without touching
+ * the verified integrators (see DESIGN.md §10).
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/source.hh"
+
+namespace boreas
+{
+
+/** Build one of the adversarial sources by scenario name
+ *  ("powervirus", "corehop", "ambientramp", "ambientsweep");
+ *  panics on an unknown scenario. */
+std::unique_ptr<WorkloadSource>
+makeAdversarialSource(const std::string &scenario);
+
+/** The registered adversarial scenario names. */
+const std::vector<std::string> &adversarialScenarios();
+
+} // namespace boreas

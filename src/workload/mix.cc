@@ -1,0 +1,101 @@
+#include "workload/mix.hh"
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+
+namespace boreas
+{
+
+namespace
+{
+
+/** Decorrelates co-scheduled copies of the same program. */
+constexpr uint64_t kMixCoreSalt = 0xc2b2ae3d27d4eb4fULL;
+
+/** Start-offset comparison slack: offsets are step multiples, and
+ *  repeated dt accumulation must not flip activation by one ULP. */
+constexpr Seconds kStartEps = 1e-12;
+
+} // namespace
+
+MixSource::MixSource(std::string name, std::vector<MixProgram> programs)
+    : name_(std::move(name)), programs_(std::move(programs))
+{
+    boreas_assert(!programs_.empty(), "mix '%s' has no programs",
+                  name_.c_str());
+    for (const MixProgram &p : programs_) {
+        boreas_assert(!p.spec.phases.empty(),
+                      "mix '%s' program '%s' has no phases",
+                      name_.c_str(), p.spec.name.c_str());
+        boreas_assert(p.startOffset >= 0.0,
+                      "mix '%s' negative start offset", name_.c_str());
+    }
+    Fnv1a hasher;
+    hasher.addBytes(name_.data(), name_.size());
+    groupId_ = hasher.digest();
+}
+
+void
+MixSource::reset(uint64_t seed)
+{
+    elapsed_ = 0.0;
+    runs_.clear();
+    runs_.reserve(programs_.size());
+    for (size_t i = 0; i < programs_.size(); ++i)
+        runs_.emplace_back(programs_[i].spec,
+                           seed ^ ((i + 1) * kMixCoreSalt));
+}
+
+bool
+MixSource::started(int core) const
+{
+    return elapsed_ >= programs_[core].startOffset - kStartEps;
+}
+
+CoreStimulus
+MixSource::stimulus(int core) const
+{
+    boreas_assert(core >= 0 && core < numCores(), "bad core %d", core);
+    boreas_assert(!runs_.empty(), "stimulus() before reset()");
+    if (!started(core))
+        return {PhaseParams{}, false};
+    return {runs_[core].currentPhase(), true};
+}
+
+Rng &
+MixSource::noiseRng(int core)
+{
+    boreas_assert(core >= 0 && core < numCores(), "bad core %d", core);
+    boreas_assert(!runs_.empty(), "noiseRng() before reset()");
+    return runs_[core].rng();
+}
+
+void
+MixSource::advance(Seconds dt)
+{
+    // Programs only consume workload time once they have started, so
+    // a staggered program begins at its own phase 0 regardless of the
+    // offset — and the stagger cannot shift sibling noise streams.
+    for (size_t i = 0; i < runs_.size(); ++i) {
+        if (started(static_cast<int>(i)))
+            runs_[i].advance(dt);
+    }
+    elapsed_ += dt;
+}
+
+std::unique_ptr<WorkloadSource>
+MixSource::clone() const
+{
+    return std::make_unique<MixSource>(name_, programs_);
+}
+
+std::unique_ptr<WorkloadSource>
+MixSource::cloneScaled(double intensity_mult) const
+{
+    std::vector<MixProgram> scaled = programs_;
+    for (MixProgram &p : scaled)
+        p.spec.thermalScale *= intensity_mult;
+    return std::make_unique<MixSource>(name_, std::move(scaled));
+}
+
+} // namespace boreas

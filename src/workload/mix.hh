@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The mix: combinator — heterogeneous per-core phase programs
+ * co-scheduled on the multi-core die, with optional staggered starts.
+ *
+ * Program i drives die core i. A program whose start offset has not
+ * elapsed yet reports an inactive stimulus (the core idles: leakage
+ * and residual clocking only), modelling jobs arriving at different
+ * times — the CPA-style interference regime where one core's heat
+ * soaks into a neighbour that later turbos.
+ */
+
+#pragma once
+
+#include "workload/source.hh"
+#include "workload/workload.hh"
+
+namespace boreas
+{
+
+/** One co-scheduled program and when it starts. */
+struct MixProgram
+{
+    WorkloadSpec spec;
+    Seconds startOffset = 0.0;
+};
+
+/** Co-scheduled per-core phase programs behind one source. */
+class MixSource final : public WorkloadSource
+{
+  public:
+    MixSource(std::string name, std::vector<MixProgram> programs);
+
+    const std::string &
+    name() const override
+    {
+        return name_;
+    }
+
+    int
+    numCores() const override
+    {
+        return static_cast<int>(programs_.size());
+    }
+
+    uint64_t
+    groupId() const override
+    {
+        return groupId_;
+    }
+
+    void reset(uint64_t seed) override;
+    CoreStimulus stimulus(int core) const override;
+    Rng &noiseRng(int core) override;
+    void advance(Seconds dt) override;
+
+    std::unique_ptr<WorkloadSource> clone() const override;
+    std::unique_ptr<WorkloadSource>
+    cloneScaled(double intensity_mult) const override;
+
+    const std::vector<MixProgram> &
+    programs() const
+    {
+        return programs_;
+    }
+
+  private:
+    bool started(int core) const;
+
+    std::string name_;
+    std::vector<MixProgram> programs_;
+    uint64_t groupId_ = 0;
+
+    std::vector<WorkloadRun> runs_; ///< empty until reset()
+    Seconds elapsed_ = 0.0;
+};
+
+} // namespace boreas

@@ -1,0 +1,236 @@
+#include "workload/registry.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "workload/adversarial.hh"
+#include "workload/mix.hh"
+#include "workload/nas.hh"
+#include "workload/spec2006.hh"
+#include "workload/synthetic.hh"
+#include "workload/trace_io.hh"
+
+namespace boreas
+{
+
+namespace
+{
+
+bool
+setError(std::string *error, const std::string &message)
+{
+    if (error)
+        *error = message;
+    return false;
+}
+
+/** Non-panicking suite lookup: spec2006 first, then nas. Returns the
+ *  canonical family ("spec2006"/"nas") through *family. */
+const WorkloadSpec *
+lookupProgram(const std::string &name, std::string *family)
+{
+    for (const WorkloadSpec &spec : spec2006Suite()) {
+        if (spec.name == name) {
+            if (family)
+                *family = "spec2006";
+            return &spec;
+        }
+    }
+    for (const WorkloadSpec &spec : nasSuite()) {
+        if (spec.name == name) {
+            if (family)
+                *family = "nas";
+            return &spec;
+        }
+    }
+    return nullptr;
+}
+
+std::unique_ptr<WorkloadSource>
+makeSynthetic(const std::string &rest, std::string *error)
+{
+    const size_t slash = rest.find('/');
+    if (slash == std::string::npos) {
+        setError(error, "synthetic: expects <family>/<name>, got '" +
+                            rest + "'");
+        return nullptr;
+    }
+    const std::string family = rest.substr(0, slash);
+    const std::string name = rest.substr(slash + 1);
+    const std::vector<WorkloadSpec> *suite = nullptr;
+    if (family == "spec2006")
+        suite = &spec2006Suite();
+    else if (family == "nas")
+        suite = &nasSuite();
+    else {
+        setError(error, "unknown synthetic family '" + family +
+                            "' (expected spec2006 or nas)");
+        return nullptr;
+    }
+    for (const WorkloadSpec &spec : *suite) {
+        if (spec.name == name) {
+            return std::make_unique<SyntheticSource>(
+                "synthetic:" + family + "/" + name, spec);
+        }
+    }
+    setError(error, "no workload '" + name + "' in synthetic:" +
+                        family);
+    return nullptr;
+}
+
+std::unique_ptr<WorkloadSource>
+makeMix(const std::string &spec_string, const std::string &rest,
+        std::string *error)
+{
+    std::string programs_part = rest;
+    Seconds stagger = 0.0;
+    const size_t at = rest.rfind('@');
+    if (at != std::string::npos) {
+        const std::string option = rest.substr(at + 1);
+        constexpr const char *kKey = "stagger=";
+        if (option.rfind(kKey, 0) != 0) {
+            setError(error, "unknown mix option '@" + option +
+                                "' (expected @stagger=<seconds>)");
+            return nullptr;
+        }
+        const std::string value = option.substr(std::strlen(kKey));
+        char *end = nullptr;
+        stagger = std::strtod(value.c_str(), &end);
+        if (value.empty() || end != value.c_str() + value.size() ||
+            !(stagger >= 0.0)) {
+            setError(error, "bad mix stagger '" + value +
+                                "' (expected a nonnegative number of "
+                                "seconds)");
+            return nullptr;
+        }
+        programs_part = rest.substr(0, at);
+    }
+
+    std::vector<MixProgram> programs;
+    size_t pos = 0;
+    while (pos <= programs_part.size()) {
+        const size_t plus = programs_part.find('+', pos);
+        const std::string name = programs_part.substr(
+            pos, plus == std::string::npos ? std::string::npos
+                                           : plus - pos);
+        if (name.empty()) {
+            setError(error, "empty program name in mix '" +
+                                programs_part + "'");
+            return nullptr;
+        }
+        const WorkloadSpec *spec = lookupProgram(name, nullptr);
+        if (!spec) {
+            setError(error, "mix program '" + name +
+                                "' is not a spec2006 or nas workload");
+            return nullptr;
+        }
+        programs.push_back(MixProgram{
+            *spec, stagger * static_cast<double>(programs.size())});
+        if (plus == std::string::npos)
+            break;
+        pos = plus + 1;
+    }
+    if (programs.empty()) {
+        setError(error, "mix: names no programs");
+        return nullptr;
+    }
+    return std::make_unique<MixSource>(spec_string,
+                                       std::move(programs));
+}
+
+} // namespace
+
+std::unique_ptr<WorkloadSource>
+tryMakeWorkloadSource(const std::string &spec_string,
+                      std::string *error)
+{
+    if (spec_string.empty()) {
+        setError(error, "empty workload source spec");
+        return nullptr;
+    }
+    const size_t colon = spec_string.find(':');
+    if (colon == std::string::npos) {
+        // Bare-name shorthand for a suite program.
+        std::string family;
+        const WorkloadSpec *spec = lookupProgram(spec_string, &family);
+        if (!spec) {
+            setError(error, "unknown workload '" + spec_string +
+                                "' (try synthetic:spec2006/<name>, "
+                                "synthetic:nas/<name>, mix:..., "
+                                "adversarial:..., trace:<path>)");
+            return nullptr;
+        }
+        return std::make_unique<SyntheticSource>(
+            "synthetic:" + family + "/" + spec_string, *spec);
+    }
+
+    const std::string scheme = spec_string.substr(0, colon);
+    const std::string rest = spec_string.substr(colon + 1);
+    if (rest.empty()) {
+        setError(error, "source spec '" + spec_string +
+                            "' names no target after the scheme");
+        return nullptr;
+    }
+    if (scheme == "synthetic")
+        return makeSynthetic(rest, error);
+    if (scheme == "mix")
+        return makeMix(spec_string, rest, error);
+    if (scheme == "adversarial") {
+        for (const std::string &scenario : adversarialScenarios()) {
+            if (scenario == rest)
+                return makeAdversarialSource(rest);
+        }
+        setError(error, "unknown adversarial scenario '" + rest +
+                            "' (expected powervirus, corehop, "
+                            "ambientramp or ambientsweep)");
+        return nullptr;
+    }
+    if (scheme == "trace") {
+        TraceData data;
+        std::string trace_error;
+        if (!tryLoadTraceFile(rest, &data, &trace_error)) {
+            setError(error, trace_error);
+            return nullptr;
+        }
+        return std::make_unique<TraceSource>(std::move(data));
+    }
+    setError(error, "unknown source scheme '" + scheme +
+                        ":' (expected synthetic, mix, adversarial or "
+                        "trace)");
+    return nullptr;
+}
+
+std::unique_ptr<WorkloadSource>
+makeWorkloadSource(const std::string &spec_string)
+{
+    std::string error;
+    auto source = tryMakeWorkloadSource(spec_string, &error);
+    if (!source)
+        boreas_fatal("bad workload source '%s': %s",
+                     spec_string.c_str(), error.c_str());
+    return source;
+}
+
+std::unique_ptr<WorkloadSource>
+makeSyntheticSource(const WorkloadSpec &spec)
+{
+    return std::make_unique<SyntheticSource>("synthetic:" + spec.name,
+                                             spec);
+}
+
+const std::string &
+workloadSourceGrammar()
+{
+    static const std::string kGrammar =
+        "  synthetic:spec2006/<name>  one SPEC CPU2006 phase program\n"
+        "  synthetic:nas/<name>       one NAS program (e.g. nas/cg.B)\n"
+        "  mix:<a>+<b>[@stagger=<s>]  co-scheduled per-core programs\n"
+        "  adversarial:<scenario>     powervirus|corehop|ambientramp|"
+        "ambientsweep\n"
+        "  trace:<path>               replay a boreas-trace-v1 file\n"
+        "  <name>                     shorthand for a suite program\n";
+    return kGrammar;
+}
+
+} // namespace boreas

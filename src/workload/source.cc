@@ -1,0 +1,9 @@
+#include "workload/source.hh"
+
+namespace boreas
+{
+
+// Out-of-line so the vtable has one home translation unit.
+WorkloadSource::~WorkloadSource() = default;
+
+} // namespace boreas

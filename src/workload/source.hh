@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The pluggable workload-source interface (DESIGN.md §10).
+ *
+ * A WorkloadSource is a deterministic stimulus generator for the die:
+ * per telemetry step it exposes, for every core it drives, the
+ * PhaseParams the interval core model should simulate plus a private
+ * noise stream. The phase-program suite (synthetic:spec2006), the
+ * CPA-calibrated NAS family (synthetic:nas), co-scheduled mixes
+ * (mix:), adversarial scenarios (adversarial:) and recorded traces
+ * (trace:) all implement this one API — the codes-workload pattern of
+ * many generator methods behind a single load/next-step interface.
+ *
+ * Contract:
+ *   - reset(seed) must make the source's whole future stream a pure
+ *     function of (source description, seed);
+ *   - stimulus()/noiseRng() describe the *current* step and must not
+ *     advance state; advance(dt) moves workload time forward;
+ *   - clone() returns an unreset copy, safe to reset and run on
+ *     another thread (sources are cloned per parallel job).
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/core_model.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace boreas
+{
+
+/** What one core is asked to execute during the current step. */
+struct CoreStimulus
+{
+    PhaseParams phase;
+    /** False = the core idles this step (gated; only leakage and
+     *  residual clocking dissipate). */
+    bool active = true;
+};
+
+/** Abstract deterministic multi-core workload generator. */
+class WorkloadSource
+{
+  public:
+    virtual ~WorkloadSource();
+
+    /** Registry-style source name (e.g. "synthetic:spec2006/astar"). */
+    virtual const std::string &name() const = 0;
+
+    /** Number of die cores this source drives (1..numCores of die). */
+    virtual int numCores() const = 0;
+
+    /**
+     * Stable identity used as the dataset group id so
+     * application-exclusive CV splits keep working. Equals the
+     * WorkloadSpec seedSalt for synthetic sources.
+     */
+    virtual uint64_t groupId() const = 0;
+
+    /** (Re)start the stimulus stream for the given seed. */
+    virtual void reset(uint64_t seed) = 0;
+
+    /** Stimulus of `core` for the current step (no state change). */
+    virtual CoreStimulus stimulus(int core) const = 0;
+
+    /** Per-core noise stream consumed by the pipeline's draws. */
+    virtual Rng &noiseRng(int core) = 0;
+
+    /** Advance workload time by dt (switch phases, move programs). */
+    virtual void advance(Seconds dt) = 0;
+
+    /** Unreset deep copy (for parallel jobs and warm-start probes). */
+    virtual std::unique_ptr<WorkloadSource> clone() const = 0;
+
+    /**
+     * Unreset copy with all per-core dynamic-energy scales multiplied
+     * by `intensity_mult` — the dataset builder's augmentation hook
+     * (DatasetConfig::intensityAugments).
+     */
+    virtual std::unique_ptr<WorkloadSource>
+    cloneScaled(double intensity_mult) const = 0;
+
+    /**
+     * Warm-start unit-power vector recorded with the source, or
+     * nullptr when the pipeline should probe the generator itself.
+     * Trace replay returns the vector captured at record time: the
+     * live probe draws from a generative model a recording cannot
+     * re-derive, so the recorded vector is what keeps replays
+     * bit-identical.
+     */
+    virtual const std::vector<Watts> *
+    recordedWarmPower() const
+    {
+        return nullptr;
+    }
+};
+
+} // namespace boreas

@@ -1,0 +1,47 @@
+#include "workload/synthetic.hh"
+
+#include "common/logging.hh"
+
+namespace boreas
+{
+
+SyntheticSource::SyntheticSource(std::string name, WorkloadSpec spec)
+    : name_(std::move(name)), spec_(std::move(spec))
+{
+    boreas_assert(!spec_.phases.empty(),
+                  "synthetic source '%s' has no phases", name_.c_str());
+}
+
+CoreStimulus
+SyntheticSource::stimulus(int core) const
+{
+    boreas_assert(core == 0, "single-core source asked for core %d",
+                  core);
+    boreas_assert(run_.has_value(), "stimulus() before reset()");
+    return {run_->currentPhase(), true};
+}
+
+Rng &
+SyntheticSource::noiseRng(int core)
+{
+    boreas_assert(core == 0, "single-core source asked for core %d",
+                  core);
+    boreas_assert(run_.has_value(), "noiseRng() before reset()");
+    return run_->rng();
+}
+
+std::unique_ptr<WorkloadSource>
+SyntheticSource::clone() const
+{
+    return std::make_unique<SyntheticSource>(name_, spec_);
+}
+
+std::unique_ptr<WorkloadSource>
+SyntheticSource::cloneScaled(double intensity_mult) const
+{
+    WorkloadSpec scaled = spec_;
+    scaled.thermalScale *= intensity_mult;
+    return std::make_unique<SyntheticSource>(name_, std::move(scaled));
+}
+
+} // namespace boreas

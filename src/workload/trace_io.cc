@@ -1,0 +1,492 @@
+#include "workload/trace_io.hh"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <limits>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+
+namespace boreas
+{
+
+namespace
+{
+
+constexpr size_t kHeaderFixedBytes = 56;
+constexpr size_t kCoreRecordBytes =
+    2 + 4 * sizeof(uint64_t) + sizeof(double) + 17 * sizeof(double);
+constexpr uint32_t kFlagWarmPower = 1u << 0;
+
+constexpr uint32_t kMaxCores = 1024;
+constexpr uint32_t kMaxNameLen = 4096;
+constexpr uint32_t kMaxWarmCount = 1u << 20;
+
+/** PhaseParams fields in declaration order (arch/core_model.hh). The
+ *  wire format is defined by this list; extend only by bumping the
+ *  container version. */
+template <typename Fn>
+void
+forEachPhaseField(PhaseParams &p, Fn &&fn)
+{
+    fn(p.baseCpi);
+    fn(p.fpFraction);
+    fn(p.mulFraction);
+    fn(p.loadFraction);
+    fn(p.storeFraction);
+    fn(p.branchFraction);
+    fn(p.branchMpki);
+    fn(p.l1iMpki);
+    fn(p.l1dMpki);
+    fn(p.l2Mpki);
+    fn(p.l3Mpki);
+    fn(p.itlbMpki);
+    fn(p.dtlbMpki);
+    fn(p.mlp);
+    fn(p.activityNoise);
+    fn(p.intensityNoise);
+    fn(p.intensity);
+}
+
+void
+putU32(std::vector<uint8_t> &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<uint8_t> &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+putF64(std::vector<uint8_t> &out, double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(out, bits);
+}
+
+/** Bounds-checked little-endian reader over a byte buffer. */
+class ByteReader
+{
+  public:
+    explicit ByteReader(const std::vector<uint8_t> &bytes)
+        : bytes_(bytes)
+    {
+    }
+
+    size_t remaining() const { return bytes_.size() - pos_; }
+
+    bool
+    getBytes(void *dst, size_t n)
+    {
+        if (remaining() < n)
+            return false;
+        std::memcpy(dst, bytes_.data() + pos_, n);
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    getU8(uint8_t *v)
+    {
+        return getBytes(v, 1);
+    }
+
+    bool
+    getU32(uint32_t *v)
+    {
+        uint8_t b[4];
+        if (!getBytes(b, 4))
+            return false;
+        *v = 0;
+        for (int i = 0; i < 4; ++i)
+            *v |= static_cast<uint32_t>(b[i]) << (8 * i);
+        return true;
+    }
+
+    bool
+    getU64(uint64_t *v)
+    {
+        uint8_t b[8];
+        if (!getBytes(b, 8))
+            return false;
+        *v = 0;
+        for (int i = 0; i < 8; ++i)
+            *v |= static_cast<uint64_t>(b[i]) << (8 * i);
+        return true;
+    }
+
+    bool
+    getF64(double *v)
+    {
+        uint64_t bits;
+        if (!getU64(&bits))
+            return false;
+        std::memcpy(v, &bits, sizeof(*v));
+        return true;
+    }
+
+  private:
+    const std::vector<uint8_t> &bytes_;
+    size_t pos_ = 0;
+};
+
+std::vector<uint8_t>
+encodePayload(const TraceData &data)
+{
+    std::vector<uint8_t> payload;
+    payload.reserve(data.steps.size() *
+                    (4 + static_cast<size_t>(data.numCores) *
+                             kCoreRecordBytes));
+    for (const TraceStep &step : data.steps) {
+        putU32(payload, step.stepIndex);
+        boreas_assert(static_cast<int>(step.cores.size()) ==
+                          data.numCores,
+                      "trace step %u has %zu core records, expected %d",
+                      step.stepIndex, step.cores.size(), data.numCores);
+        for (const TraceCoreRecord &core : step.cores) {
+            payload.push_back(core.active ? 1 : 0);
+            payload.push_back(core.rng.haveSpare ? 1 : 0);
+            for (uint64_t word : core.rng.s)
+                putU64(payload, word);
+            putF64(payload, core.rng.spare);
+            PhaseParams phase = core.phase;
+            forEachPhaseField(phase,
+                              [&](double v) { putF64(payload, v); });
+        }
+    }
+    return payload;
+}
+
+bool
+fail(std::string *error, const std::string &message)
+{
+    if (error)
+        *error = message;
+    return false;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+encodeTrace(TraceData &data)
+{
+    boreas_assert(data.numCores > 0, "trace has no cores");
+    std::vector<uint8_t> payload = encodePayload(data);
+    Fnv1a hasher;
+    hasher.addBytes(payload.data(), payload.size());
+    data.payloadChecksum = hasher.digest();
+
+    std::vector<uint8_t> out;
+    out.reserve(kHeaderFixedBytes + data.sourceName.size() +
+                data.warmPower.size() * sizeof(double) +
+                payload.size());
+    // Byte-wise append: GCC 12's -Wrestrict misfires on a char-pointer
+    // range insert into a vector<uint8_t> at -O2 (-Werror builds).
+    for (char byte : kTraceMagic)
+        out.push_back(static_cast<uint8_t>(byte));
+    putU32(out, kTraceVersion);
+    putU32(out, static_cast<uint32_t>(data.numCores));
+    putU32(out, static_cast<uint32_t>(data.steps.size()));
+    putU32(out, data.warmPower.empty() ? 0 : kFlagWarmPower);
+    putF64(out, data.dt);
+    putU64(out, data.seed);
+    putU64(out, data.payloadChecksum);
+    putU32(out, static_cast<uint32_t>(data.sourceName.size()));
+    putU32(out, static_cast<uint32_t>(data.warmPower.size()));
+    out.insert(out.end(), data.sourceName.begin(),
+               data.sourceName.end());
+    for (Watts w : data.warmPower)
+        putF64(out, w);
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
+bool
+decodeTrace(const std::vector<uint8_t> &bytes, TraceData *out,
+            std::string *error)
+{
+    ByteReader reader(bytes);
+    char magic[8];
+    if (!reader.getBytes(magic, sizeof(magic)))
+        return fail(error, "truncated header (no magic)");
+    if (std::memcmp(magic, kTraceMagic, sizeof(kTraceMagic)) != 0)
+        return fail(error, "bad magic: not a boreas-trace file");
+
+    uint32_t version = 0, num_cores = 0, num_steps = 0, flags = 0;
+    uint32_t name_len = 0, warm_count = 0;
+    double dt = 0.0;
+    uint64_t seed = 0, checksum = 0;
+    if (!reader.getU32(&version) || !reader.getU32(&num_cores) ||
+        !reader.getU32(&num_steps) || !reader.getU32(&flags) ||
+        !reader.getF64(&dt) || !reader.getU64(&seed) ||
+        !reader.getU64(&checksum) || !reader.getU32(&name_len) ||
+        !reader.getU32(&warm_count)) {
+        return fail(error, "truncated header");
+    }
+    if (version != kTraceVersion) {
+        return fail(error, "unsupported version " +
+                               std::to_string(version) + " (expected " +
+                               std::to_string(kTraceVersion) + ")");
+    }
+    if (num_cores == 0 || num_cores > kMaxCores)
+        return fail(error, "implausible core count " +
+                               std::to_string(num_cores));
+    if (name_len > kMaxNameLen)
+        return fail(error, "implausible source-name length");
+    if (warm_count > kMaxWarmCount)
+        return fail(error, "implausible warm-power count");
+    if (!(dt > 0.0) || !std::isfinite(dt))
+        return fail(error, "step length dt must be positive and finite");
+    const bool has_warm = (flags & kFlagWarmPower) != 0;
+    if (has_warm != (warm_count > 0))
+        return fail(error, "warm-power flag disagrees with count");
+
+    const size_t step_bytes =
+        4 + static_cast<size_t>(num_cores) * kCoreRecordBytes;
+    const size_t expect_rest = name_len +
+        static_cast<size_t>(warm_count) * sizeof(double) +
+        static_cast<size_t>(num_steps) * step_bytes;
+    if (reader.remaining() != expect_rest) {
+        return fail(error, "size mismatch: " +
+                               std::to_string(reader.remaining()) +
+                               " bytes after header, expected " +
+                               std::to_string(expect_rest));
+    }
+
+    TraceData data;
+    data.numCores = static_cast<int>(num_cores);
+    data.dt = dt;
+    data.seed = seed;
+    data.sourceName.resize(name_len);
+    if (name_len > 0 &&
+        !reader.getBytes(data.sourceName.data(), name_len))
+        return fail(error, "truncated source name");
+    data.warmPower.resize(warm_count);
+    for (uint32_t i = 0; i < warm_count; ++i) {
+        if (!reader.getF64(&data.warmPower[i]))
+            return fail(error, "truncated warm-power vector");
+        if (!std::isfinite(data.warmPower[i]))
+            return fail(error, "non-finite warm power");
+    }
+
+    // Checksum the payload before trusting any of its contents.
+    Fnv1a hasher;
+    hasher.addBytes(bytes.data() + (bytes.size() - reader.remaining()),
+                    reader.remaining());
+    if (hasher.digest() != checksum)
+        return fail(error, "payload checksum mismatch (corrupt trace)");
+    data.payloadChecksum = checksum;
+
+    data.steps.resize(num_steps);
+    uint32_t prev_index = 0;
+    for (uint32_t s = 0; s < num_steps; ++s) {
+        TraceStep &step = data.steps[s];
+        if (!reader.getU32(&step.stepIndex))
+            return fail(error, "truncated step record");
+        if (s > 0 && step.stepIndex <= prev_index) {
+            return fail(error,
+                        "step indices not strictly ascending at step " +
+                            std::to_string(s));
+        }
+        prev_index = step.stepIndex;
+        step.cores.resize(num_cores);
+        for (uint32_t c = 0; c < num_cores; ++c) {
+            TraceCoreRecord &core = step.cores[c];
+            uint8_t active = 0, have_spare = 0;
+            if (!reader.getU8(&active) || !reader.getU8(&have_spare))
+                return fail(error, "truncated core record");
+            if (active > 1 || have_spare > 1)
+                return fail(error, "malformed core-record flags");
+            core.active = active != 0;
+            core.rng.haveSpare = have_spare != 0;
+            for (uint64_t &word : core.rng.s) {
+                if (!reader.getU64(&word))
+                    return fail(error, "truncated rng state");
+            }
+            if (!reader.getF64(&core.rng.spare))
+                return fail(error, "truncated rng state");
+            bool params_ok = true;
+            forEachPhaseField(core.phase, [&](double &v) {
+                if (!reader.getF64(&v) || !std::isfinite(v))
+                    params_ok = false;
+            });
+            if (!params_ok) {
+                return fail(error,
+                            "truncated or non-finite phase params at "
+                            "step " + std::to_string(s));
+            }
+        }
+    }
+    boreas_assert(reader.remaining() == 0, "trace reader accounting");
+    *out = std::move(data);
+    return true;
+}
+
+void
+writeTraceFile(const std::string &path, TraceData &data)
+{
+    const std::vector<uint8_t> bytes = encodeTrace(data);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        boreas_fatal("cannot open trace file '%s' for writing",
+                     path.c_str());
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out)
+        boreas_fatal("short write to trace file '%s'", path.c_str());
+}
+
+bool
+tryLoadTraceFile(const std::string &path, TraceData *out,
+                 std::string *error)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in)
+        return fail(error, "cannot open trace file '" + path + "'");
+    const std::streamsize size = in.tellg();
+    in.seekg(0);
+    std::vector<uint8_t> bytes(static_cast<size_t>(size));
+    if (size > 0 &&
+        !in.read(reinterpret_cast<char *>(bytes.data()), size))
+        return fail(error, "short read from trace file '" + path + "'");
+    return decodeTrace(bytes, out, error);
+}
+
+TraceData
+loadTraceFile(const std::string &path)
+{
+    TraceData data;
+    std::string err;
+    if (!tryLoadTraceFile(path, &data, &err))
+        boreas_fatal("invalid trace '%s': %s", path.c_str(),
+                     err.c_str());
+    return data;
+}
+
+void
+TraceRecorder::onRunStart(std::string source_name, int num_cores,
+                          Seconds dt, uint64_t seed,
+                          std::vector<Watts> warm_power)
+{
+    data_ = TraceData{};
+    data_.sourceName = std::move(source_name);
+    data_.numCores = num_cores;
+    data_.dt = dt;
+    data_.seed = seed;
+    data_.warmPower = std::move(warm_power);
+}
+
+void
+TraceRecorder::recordStep(uint32_t step_index,
+                          std::vector<TraceCoreRecord> cores)
+{
+    boreas_assert(static_cast<int>(cores.size()) == data_.numCores,
+                  "recordStep core count mismatch");
+    data_.steps.push_back(TraceStep{step_index, std::move(cores)});
+}
+
+TraceSource::TraceSource(TraceData data)
+    : TraceSource(std::make_shared<const TraceData>(std::move(data)),
+                  1.0)
+{
+}
+
+TraceSource::TraceSource(std::shared_ptr<const TraceData> data)
+    : TraceSource(std::move(data), 1.0)
+{
+}
+
+TraceSource::TraceSource(std::shared_ptr<const TraceData> data,
+                         double intensity_scale)
+    : data_(std::move(data)), name_("trace:" + data_->sourceName),
+      intensityScale_(intensity_scale)
+{
+    boreas_assert(data_->numCores > 0, "trace has no cores");
+    boreas_assert(!data_->steps.empty(), "trace has no steps");
+}
+
+std::unique_ptr<TraceSource>
+TraceSource::fromFile(const std::string &path)
+{
+    return std::make_unique<TraceSource>(loadTraceFile(path));
+}
+
+void
+TraceSource::reset(uint64_t seed)
+{
+    (void)seed; // replay is a pure function of the trace contents
+    index_ = 0;
+    if (rngs_.empty())
+        rngs_.assign(static_cast<size_t>(data_->numCores), Rng(0));
+    syncRngs();
+}
+
+void
+TraceSource::syncRngs()
+{
+    const TraceStep &step = data_->steps[index_];
+    for (int c = 0; c < data_->numCores; ++c)
+        rngs_[static_cast<size_t>(c)].restoreState(step.cores[c].rng);
+}
+
+CoreStimulus
+TraceSource::stimulus(int core) const
+{
+    boreas_assert(core >= 0 && core < data_->numCores, "bad core %d",
+                  core);
+    boreas_assert(!rngs_.empty(), "stimulus() before reset()");
+    const TraceCoreRecord &rec = data_->steps[index_].cores[core];
+    CoreStimulus stim{rec.phase, rec.active};
+    if (intensityScale_ != 1.0)
+        stim.phase.intensity *= intensityScale_;
+    return stim;
+}
+
+Rng &
+TraceSource::noiseRng(int core)
+{
+    boreas_assert(core >= 0 && core < data_->numCores, "bad core %d",
+                  core);
+    boreas_assert(!rngs_.empty(), "noiseRng() before reset()");
+    return rngs_[static_cast<size_t>(core)];
+}
+
+void
+TraceSource::advance(Seconds dt)
+{
+    (void)dt; // one trace record per pipeline step by construction
+    boreas_assert(!rngs_.empty(), "advance() before reset()");
+    if (index_ + 1 < data_->steps.size())
+        ++index_;
+    syncRngs();
+}
+
+std::unique_ptr<WorkloadSource>
+TraceSource::clone() const
+{
+    return std::make_unique<TraceSource>(data_, intensityScale_);
+}
+
+std::unique_ptr<WorkloadSource>
+TraceSource::cloneScaled(double intensity_mult) const
+{
+    return std::make_unique<TraceSource>(data_,
+                                         intensityScale_ * intensity_mult);
+}
+
+const std::vector<Watts> *
+TraceSource::recordedWarmPower() const
+{
+    if (data_->warmPower.empty() || intensityScale_ != 1.0)
+        return nullptr;
+    return &data_->warmPower;
+}
+
+} // namespace boreas

@@ -1,0 +1,63 @@
+// Fixture for the workload-spec-construction rule: constructing or
+// owning WorkloadSpec values outside src/workload fires; references,
+// pointers and registry lookups do not.
+#include <memory>
+#include <vector>
+
+#include "workload/registry.hh"
+#include "workload/workload.hh"
+
+void
+bad_default_construction()
+{
+    boreas::WorkloadSpec spec; // fires
+    (void)spec;
+}
+
+void
+bad_braced_temporary()
+{
+    auto spec = boreas::WorkloadSpec{}; // fires
+    (void)spec;
+}
+
+void
+bad_heap_construction()
+{
+    auto spec = std::make_unique<boreas::WorkloadSpec>(); // fires
+    (void)spec;
+}
+
+void
+bad_owning_container()
+{
+    std::vector<boreas::WorkloadSpec> suite; // fires
+    (void)suite;
+}
+
+void
+fine_reference_and_pointer(const boreas::WorkloadSpec &spec)
+{
+    const boreas::WorkloadSpec *ptr = &spec;
+    (void)ptr;
+    std::vector<const boreas::WorkloadSpec *> views;
+    (void)views;
+}
+
+void
+fine_registry_lookup()
+{
+    auto source = boreas::makeWorkloadSource("synthetic:spec2006/astar");
+    (void)source;
+}
+
+void
+allowed_construction()
+{
+    // boreas-lint: allow(workload-spec-construction)
+    boreas::WorkloadSpec exempted;
+    (void)exempted;
+}
+
+// WorkloadSpec spec; in a comment must not fire.
+inline const char *mention = "WorkloadSpec quoted;";

@@ -110,6 +110,36 @@ TEST(Lint, RawFileOutputExemptInExportSink)
                         "raw-file-output"), 1);
 }
 
+TEST(Lint, RawFileOutputExemptInTraceSerializer)
+{
+    // The boreas-trace-v1 serializer is the second designated file
+    // sink (workload/trace_io); everything else in src/workload still
+    // fires.
+    const std::string body = "#include <fstream>\n"
+                             "std::ofstream out(\"run.trace\");\n";
+    EXPECT_TRUE(lintContent("src/workload/trace_io.cc", body).empty());
+    EXPECT_EQ(countRule(lintContent("src/workload/registry.cc", body),
+                        "raw-file-output"), 1);
+}
+
+TEST(Lint, WorkloadSpecConstructionFires)
+{
+    const auto vs = lintFixture("bad_workload_spec.cc");
+    EXPECT_EQ(countRule(vs, "workload-spec-construction"), 4)
+        << "declaration, braced temporary, make_unique and owning "
+        "vector each fire; references, pointers, the allow() line and "
+        "comment/string mentions must not";
+}
+
+TEST(Lint, WorkloadSpecConstructionExemptInWorkloadModule)
+{
+    const std::string body = "#include \"workload/workload.hh\"\n"
+                             "boreas::WorkloadSpec spec;\n";
+    EXPECT_TRUE(lintContent("src/workload/spec2006.cc", body).empty());
+    EXPECT_EQ(countRule(lintContent("src/control/controller.cc", body),
+                        "workload-spec-construction"), 1);
+}
+
 TEST(Lint, RawNewDeleteFires)
 {
     const auto vs = lintFixture("bad_new_delete.cc");

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Workload-trace utility for the boreas-trace-v1 container
+ * (workload/trace_io.hh):
+ *
+ *   boreas_trace info <file>
+ *       Header summary: source name, cores, steps, dt, seed,
+ *       payload checksum, warm-start power presence.
+ *
+ *   boreas_trace dump <file> [--head N]
+ *       Per-step stimulus listing (first N steps, default 8).
+ *
+ *   boreas_trace verify <file>
+ *       Full validation (magic/version/size/checksum/monotonic step
+ *       indices/finite params), then a replay smoke-run through the
+ *       simulation pipeline reporting the resulting runHash.
+ *
+ *   boreas_trace record <source-spec> <file> [--seed S] [--steps N]
+ *                       [--freq F]
+ *       Record a live run of any registry source string
+ *       (workload/registry.hh grammar) into a trace file. Used to
+ *       regenerate the fixture under tests/data/.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "boreas/pipeline.hh"
+#include "workload/registry.hh"
+#include "workload/trace_io.hh"
+
+using namespace boreas;
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: boreas_trace info <file>\n"
+                 "       boreas_trace dump <file> [--head N]\n"
+                 "       boreas_trace verify <file>\n"
+                 "       boreas_trace record <source-spec> <file>"
+                 " [--seed S] [--steps N] [--freq F]\n\n"
+                 "source-spec grammar:\n%s",
+                 workloadSourceGrammar().c_str());
+    return 2;
+}
+
+bool
+loadOrExplain(const std::string &path, TraceData *out)
+{
+    std::string error;
+    if (tryLoadTraceFile(path, out, &error))
+        return true;
+    std::fprintf(stderr, "boreas_trace: %s: %s\n", path.c_str(),
+                 error.c_str());
+    return false;
+}
+
+int
+cmdInfo(const std::string &path)
+{
+    TraceData data;
+    if (!loadOrExplain(path, &data))
+        return 1;
+    std::printf("format:   %s\n", kTraceFormatName);
+    std::printf("source:   %s\n", data.sourceName.c_str());
+    std::printf("cores:    %d\n", data.numCores);
+    std::printf("steps:    %zu\n", data.steps.size());
+    std::printf("dt:       %.6g s (%.1f us)\n", data.dt, data.dt * 1e6);
+    std::printf("duration: %.6g s\n",
+                data.dt * static_cast<double>(data.steps.size()));
+    std::printf("seed:     %llu\n",
+                static_cast<unsigned long long>(data.seed));
+    std::printf("checksum: %016llx\n",
+                static_cast<unsigned long long>(data.payloadChecksum));
+    std::printf("warmPower: %s (%zu units)\n",
+                data.warmPower.empty() ? "absent" : "recorded",
+                data.warmPower.size());
+    return 0;
+}
+
+int
+cmdDump(const std::string &path, int head)
+{
+    TraceData data;
+    if (!loadOrExplain(path, &data))
+        return 1;
+    std::printf("# %s  cores=%d steps=%zu dt=%.6gs\n",
+                data.sourceName.c_str(), data.numCores,
+                data.steps.size(), data.dt);
+    const size_t limit =
+        head < 0 ? data.steps.size()
+                 : std::min(data.steps.size(), static_cast<size_t>(head));
+    for (size_t s = 0; s < limit; ++s) {
+        const TraceStep &step = data.steps[s];
+        std::printf("step %u\n", step.stepIndex);
+        for (size_t c = 0; c < step.cores.size(); ++c) {
+            const TraceCoreRecord &rec = step.cores[c];
+            if (!rec.active) {
+                std::printf("  core %zu  idle\n", c);
+                continue;
+            }
+            std::printf("  core %zu  cpi=%.3f fp=%.2f l3mpki=%.2f "
+                        "intensity=%.3f rng=%016llx\n",
+                        c, rec.phase.baseCpi, rec.phase.fpFraction,
+                        rec.phase.l3Mpki, rec.phase.intensity,
+                        static_cast<unsigned long long>(rec.rng.s[0]));
+        }
+    }
+    if (limit < data.steps.size())
+        std::printf("... (%zu more steps)\n", data.steps.size() - limit);
+    return 0;
+}
+
+int
+cmdVerify(const std::string &path)
+{
+    TraceData data;
+    if (!loadOrExplain(path, &data))
+        return 1;
+    // tryLoadTraceFile already re-validated structure + checksum; the
+    // replay smoke-run proves the trace also drives the pipeline.
+    TraceSource source(std::move(data));
+    SimulationPipeline pipeline;
+    const int steps = std::min(source.numSteps(), kTraceSteps);
+    const RunResult r = pipeline.runConstantFrequency(
+        source, source.recordedSeed(), kBaselineFrequency, steps);
+    std::printf("ok: checksum %016llx, replayed %zu steps, "
+                "runHash %016llx\n",
+                static_cast<unsigned long long>(source.checksum()),
+                r.steps.size(),
+                static_cast<unsigned long long>(pipeline.runHash()));
+    return 0;
+}
+
+int
+cmdRecord(const std::string &spec, const std::string &path,
+          uint64_t seed, int steps, GHz freq)
+{
+    std::string error;
+    auto source = tryMakeWorkloadSource(spec, &error);
+    if (!source) {
+        std::fprintf(stderr, "boreas_trace: %s\n", error.c_str());
+        return 1;
+    }
+    SimulationPipeline pipeline;
+    TraceRecorder recorder;
+    pipeline.setTraceRecorder(&recorder);
+    pipeline.runConstantFrequency(*source, seed, freq, steps);
+    const uint64_t live_hash = pipeline.runHash();
+    pipeline.setTraceRecorder(nullptr);
+
+    TraceData data = recorder.takeData();
+    writeTraceFile(path, data);
+
+    // Round-trip check before declaring success: the file on disk must
+    // replay to the runHash we just observed live.
+    TraceSource replay(loadTraceFile(path));
+    pipeline.runConstantFrequency(replay, seed, freq, steps);
+    if (pipeline.runHash() != live_hash) {
+        std::fprintf(stderr, "boreas_trace: replay hash mismatch "
+                             "(%016llx live vs %016llx replay)\n",
+                     static_cast<unsigned long long>(live_hash),
+                     static_cast<unsigned long long>(pipeline.runHash()));
+        return 1;
+    }
+    std::printf("recorded %s: %d cores, %d steps, checksum %016llx, "
+                "runHash %016llx\n",
+                source->name().c_str(), source->numCores(), steps,
+                static_cast<unsigned long long>(data.payloadChecksum),
+                static_cast<unsigned long long>(live_hash));
+    return 0;
+}
+
+bool
+parseLong(const char *text, long long *out)
+{
+    char *end = nullptr;
+    *out = std::strtoll(text, &end, 10);
+    return end != text && *end == '\0';
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    const std::string cmd = argv[1];
+
+    if (cmd == "info")
+        return cmdInfo(argv[2]);
+
+    if (cmd == "dump") {
+        int head = 8;
+        for (int i = 3; i < argc; ++i) {
+            long long v = 0;
+            if (std::strcmp(argv[i], "--head") == 0 && i + 1 < argc &&
+                parseLong(argv[++i], &v))
+                head = static_cast<int>(v);
+            else if (std::strcmp(argv[i], "--all") == 0)
+                head = -1;
+            else
+                return usage();
+        }
+        return cmdDump(argv[2], head);
+    }
+
+    if (cmd == "verify")
+        return cmdVerify(argv[2]);
+
+    if (cmd == "record") {
+        if (argc < 4)
+            return usage();
+        uint64_t seed = 2023; // the bench-suite seed (bench/harness.hh)
+        int steps = kTraceSteps;
+        GHz freq = kBaselineFrequency;
+        for (int i = 4; i < argc; ++i) {
+            long long v = 0;
+            if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc &&
+                parseLong(argv[++i], &v))
+                seed = static_cast<uint64_t>(v);
+            else if (std::strcmp(argv[i], "--steps") == 0 &&
+                     i + 1 < argc && parseLong(argv[++i], &v))
+                steps = static_cast<int>(v);
+            else if (std::strcmp(argv[i], "--freq") == 0 && i + 1 < argc)
+                freq = std::strtod(argv[++i], nullptr);
+            else
+                return usage();
+        }
+        return cmdRecord(argv[2], argv[3], seed, steps, freq);
+    }
+
+    return usage();
+}

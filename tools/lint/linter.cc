@@ -48,12 +48,21 @@ isLoggingModule(const std::string &path)
     return pathContains(path, "common/logging");
 }
 
-/** The only module allowed to open files for writing: the artifact
- *  sink all BENCH_/TRACE_ output is routed through. */
+/** The only modules allowed to open files for writing: the obs
+ *  artifact sink (all BENCH_/TRACE_ output) and the workload trace
+ *  serializer (boreas-trace-v1 files). */
 bool
-isExportSink(const std::string &path)
+isFileSink(const std::string &path)
 {
-    return pathContains(path, "obs/export");
+    return pathContains(path, "obs/export") ||
+        pathContains(path, "workload/trace_io");
+}
+
+/** Only the workload subsystem's registries construct specs. */
+bool
+isWorkloadModule(const std::string &path)
+{
+    return pathContains(path, "src/workload");
 }
 
 /**
@@ -230,10 +239,17 @@ lineRules()
          false, isLoggingModule},
         {"raw-file-output",
          std::regex(R"((\bstd::ofstream\b|\bstd::fstream\b|\bstd::filebuf\b|(^|[^\w:.>])fopen\s*\(|(^|[^\w:.>])freopen\s*\())"),
-         "file output outside src/obs/export; route artifacts through "
-         "the obs export sink so every file the simulator writes has "
-         "one auditable schema",
-         false, isExportSink},
+         "file output outside the designated sinks (src/obs/export, "
+         "src/workload/trace_io); route artifacts through them so "
+         "every file the simulator writes has one auditable schema",
+         false, isFileSink},
+        {"workload-spec-construction",
+         std::regex(R"(\bWorkloadSpec\s*\{|\bWorkloadSpec\s+\w+\s*(;|=|\{)|\bmake_unique\s*<\s*[\w:]*WorkloadSpec\b|(^|[^\w.:>])new\s+[\w:]*WorkloadSpec\b|\bvector\s*<\s*[\w:]*WorkloadSpec\s*>)"),
+         "WorkloadSpec constructed outside src/workload; obtain "
+         "workloads through the source registry "
+         "(workload/registry.hh) or the suite accessors so every "
+         "stimulus is a named, registered source",
+         false, isWorkloadModule},
         {"raw-new-delete",
          std::regex(R"((^|[^\w.:>])new\s+[A-Za-z_(]|(^|[^\w.:>=]|[^=] )delete\s*(\[\s*\])?\s+[A-Za-z_(*]|(^|[^\w.:>])delete\s+this\b)"),
          "raw new/delete; own memory via containers or smart pointers",
