@@ -1,0 +1,43 @@
+/**
+ * True positives for the parallelFor capture analysis: by-reference
+ * lambdas mutating captured state without atomics, a lock, or a
+ * per-task slot. Each marked line must fire.
+ */
+
+#include "common/parallel.hh"
+
+namespace fixture
+{
+
+inline double
+sumBad(boreas::ThreadPool &pool, const std::vector<double> &xs)
+{
+    double total = 0.0;
+    pool.parallelFor(0, 8, 1, [&](int64_t i, int64_t) {
+        total += xs[i]; // fires: parallel-fp-reduction
+    });
+    return total;
+}
+
+inline int
+countBad(boreas::ThreadPool &pool, const std::vector<double> &xs)
+{
+    int hits = 0;
+    pool.parallelFor(0, 8, 1, [&](int64_t i, int64_t) {
+        if (xs[i] > 0.0)
+            ++hits; // fires: parallel-capture-mutation
+    });
+    return hits;
+}
+
+inline double
+maxBad(boreas::ThreadPool &pool, const std::vector<double> &xs)
+{
+    double peak = -1.0;
+    pool.parallelForEach(0, 8, [&](int64_t i) {
+        peak = peak > xs[i] ? peak : xs[i]; // fires: fp-reduction
+    });
+    return peak;
+}
+
+} // namespace fixture

@@ -1,0 +1,56 @@
+/**
+ * False-positive guard for the parallelFor capture analysis: every
+ * sanctioned parallel idiom in the repo, none of which may fire.
+ */
+
+#include <atomic>
+
+#include "common/parallel.hh"
+
+namespace fixture
+{
+
+/** Preallocated per-task slot writes — the canonical pattern. */
+inline void
+slotWrites(boreas::ThreadPool &pool, std::vector<double> &out,
+           const std::vector<double> &xs)
+{
+    pool.parallelFor(0, 8, 1, [&](int64_t i, int64_t) {
+        out[i] = xs[i] * 2.0;
+    });
+}
+
+/** Body-local accumulation merged through a slot. */
+inline void
+bodyLocals(boreas::ThreadPool &pool, std::vector<double> &out)
+{
+    pool.parallelFor(0, 8, 1, [&](int64_t lo, int64_t hi) {
+        double acc = 0.0;
+        for (int64_t i = lo; i < hi; ++i)
+            acc += static_cast<double>(i);
+        out[lo] = acc;
+    });
+}
+
+/** Atomic counters are synchronized by construction. */
+inline int
+atomicCounts(boreas::ThreadPool &pool, const std::vector<double> &xs)
+{
+    std::atomic<int> hits{0};
+    pool.parallelFor(0, 8, 1, [&](int64_t i, int64_t) {
+        if (xs[i] > 0.0)
+            hits.fetch_add(1);
+    });
+    return hits.load();
+}
+
+/** By-value captures cannot mutate shared state. */
+inline void
+byValue(boreas::ThreadPool &pool, double scale)
+{
+    pool.parallelFor(0, 8, 1, [scale](int64_t, int64_t) {
+        (void)scale;
+    });
+}
+
+} // namespace fixture

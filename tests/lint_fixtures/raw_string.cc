@@ -1,0 +1,37 @@
+/**
+ * Raw-string scanner regression fixture. The old single-pass scanner
+ * treated ANY code character 'R' before '"' as a raw-string prefix
+ * and searched for '(' without bound, so a macro name ending in R
+ * followed by a string swallowed the rest of the file — violations
+ * below the literal went dark. The lexer must (a) never fire rules
+ * on raw-string contents, (b) lex BAD_R"y" as an ordinary string,
+ * and (c) still see the genuine violations at the bottom.
+ */
+
+namespace fixture
+{
+
+// A genuine raw string: rule-worthy text inside must never fire.
+inline const char *kProse =
+    R"(std::cout << rand(); new int; #include <random>)";
+
+// Delimiter form, with an embedded ") that must not close it.
+inline const char *kDelim = R"x(printf(")") std::cerr)x";
+
+// An identifier merely ending in 'R' is NOT a raw-string prefix.
+#define BAD_R(s) s
+inline const char *kNotRaw = BAD_R"y";
+
+inline int *
+leak()
+{
+    return new int(3);
+}
+
+inline void
+release(int *p)
+{
+    delete p;
+}
+
+} // namespace fixture

@@ -80,10 +80,12 @@ TEST(ThreadPool, NestedParallelForDegradesToSerial)
     std::atomic<int> nested_escapes{0};
     pool.parallelFor(0, 8, 1, [&](int64_t, int64_t) {
         EXPECT_TRUE(ThreadPool::inWorker());
+        // Thread identity is the assertion here.
+        // boreas-lint: allow(wall-clock)
         const std::thread::id outer = std::this_thread::get_id();
         // A nested loop must run inline on the same thread.
         pool.parallelFor(0, 16, 1, [&](int64_t, int64_t) {
-            if (std::this_thread::get_id() != outer)
+            if (std::this_thread::get_id() != outer) // boreas-lint: allow(wall-clock)
                 nested_escapes.fetch_add(1);
         });
     });

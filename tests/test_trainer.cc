@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 
 #include "boreas/trainer.hh"
 #include "control/boreas_controller.hh"
@@ -25,31 +26,30 @@ struct TrainerFixture : public ::testing::Test
     static void
     SetUpTestSuite()
     {
-        pipeline = new SimulationPipeline(fastPipelineConfig());
+        pipeline = std::make_unique<SimulationPipeline>(
+            fastPipelineConfig());
         const std::vector<const WorkloadSpec *> train_set{
             &findWorkload("povray"), &findWorkload("gromacs"),
             &findWorkload("sjeng"), &findWorkload("libquantum"),
             &findWorkload("mcf"), &findWorkload("namd"),
         };
-        trained = new TrainedBoreas(
+        trained = std::make_unique<TrainedBoreas>(
             trainBoreas(*pipeline, train_set, tinyTrainerConfig()));
     }
 
     static void
     TearDownTestSuite()
     {
-        delete trained;
-        delete pipeline;
-        trained = nullptr;
-        pipeline = nullptr;
+        trained.reset();
+        pipeline.reset();
     }
 
-    static SimulationPipeline *pipeline;
-    static TrainedBoreas *trained;
+    static std::unique_ptr<SimulationPipeline> pipeline;
+    static std::unique_ptr<TrainedBoreas> trained;
 };
 
-SimulationPipeline *TrainerFixture::pipeline = nullptr;
-TrainedBoreas *TrainerFixture::trained = nullptr;
+std::unique_ptr<SimulationPipeline> TrainerFixture::pipeline;
+std::unique_ptr<TrainedBoreas> TrainerFixture::trained;
 
 } // namespace
 

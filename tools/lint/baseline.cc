@@ -1,0 +1,59 @@
+#include "lint/baseline.hh"
+
+#include <sstream>
+
+namespace boreas::lint
+{
+
+bool
+Baseline::covers(const Violation &v) const
+{
+    return entries.count({v.rule, v.file}) != 0;
+}
+
+Baseline
+parseBaseline(const std::string &content)
+{
+    Baseline base;
+    std::istringstream in(content);
+    std::string line;
+    while (std::getline(in, line)) {
+        const size_t start = line.find_first_not_of(" \t");
+        if (start == std::string::npos || line[start] == '#')
+            continue;
+        std::istringstream fields(line);
+        std::string rule, file;
+        if (fields >> rule >> file)
+            base.entries.insert({rule, file});
+    }
+    return base;
+}
+
+std::vector<Violation>
+filterBaselined(const std::vector<Violation> &violations,
+                const Baseline &base)
+{
+    std::vector<Violation> out;
+    for (const Violation &v : violations) {
+        if (!base.covers(v))
+            out.push_back(v);
+    }
+    return out;
+}
+
+std::string
+writeBaseline(const std::vector<Violation> &violations)
+{
+    std::set<std::pair<std::string, std::string>> entries;
+    for (const Violation &v : violations)
+        entries.insert({v.rule, v.file});
+    std::string out =
+        "# boreas_lint baseline — acknowledged (rule, file) debt.\n"
+        "# Ratchet-only: fixing a finding deletes its line; new code\n"
+        "# never adds one. Regenerate with --write-baseline.\n";
+    for (const auto &[rule, file] : entries)
+        out += rule + " " + file + "\n";
+    return out;
+}
+
+} // namespace boreas::lint

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Finding baseline: a checked-in list of (rule, file) pairs that are
+ * acknowledged debt and must not fail CI. The workflow is
+ * ratchet-only — new code never adds entries; fixing a finding
+ * deletes its line (boreas_lint --write-baseline regenerates the
+ * file from the current findings when debt is first adopted).
+ *
+ * Format, one entry per line:
+ *
+ *     <rule-id> <repo-relative-path>
+ *
+ * Blank lines and `#` comments are ignored. The baseline for this
+ * repo is empty: src/ lints clean (the acceptance bar in ISSUE 8).
+ */
+
+#pragma once
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/rule.hh"
+
+namespace boreas::lint
+{
+
+struct Baseline
+{
+    std::set<std::pair<std::string, std::string>> entries; // rule,file
+
+    /** True if the violation is baselined (acknowledged debt). */
+    bool covers(const Violation &v) const;
+};
+
+/** Parse baseline text (see file comment for the format). */
+Baseline parseBaseline(const std::string &content);
+
+/** Partition: returns the violations NOT covered by the baseline. */
+std::vector<Violation> filterBaselined(
+    const std::vector<Violation> &violations, const Baseline &base);
+
+/** Serialize the (rule, file) pairs of `violations` as a baseline. */
+std::string writeBaseline(const std::vector<Violation> &violations);
+
+} // namespace boreas::lint

@@ -1,0 +1,232 @@
+#include "lint/include_graph.hh"
+
+#include <algorithm>
+#include <set>
+
+namespace boreas::lint
+{
+
+namespace
+{
+
+/**
+ * The declared layering DAG: module -> modules it may include.
+ * Every module may also include itself. This table is the written
+ * form of the dependency architecture in DESIGN.md — an edge added
+ * here is a design decision, not a lint tweak.
+ */
+struct Layer
+{
+    const char *module;
+    std::vector<const char *> deps;
+};
+
+const std::vector<Layer> &
+layering()
+{
+    static const std::vector<Layer> kLayering = {
+        // std-only so every layer below may instrument itself.
+        {"src/obs", {}},
+        // common/parallel publishes pool telemetry through obs
+        // (DESIGN.md §8); that is the only sanctioned upward edge.
+        {"src/common", {"src/obs"}},
+        {"src/floorplan", {"src/common"}},
+        {"src/arch", {"src/common"}},
+        {"src/workload", {"src/common", "src/arch"}},
+        {"src/power", {"src/common", "src/arch", "src/floorplan"}},
+        {"src/thermal", {"src/common", "src/floorplan", "src/obs"}},
+        {"src/sensors", {"src/common", "src/floorplan", "src/thermal"}},
+        {"src/hotspot", {"src/common", "src/floorplan"}},
+        {"src/ml", {"src/common", "src/arch", "src/obs"}},
+        {"src/control", {"src/common", "src/ml", "src/power",
+                         "src/arch"}},
+        // The integration layer: pipeline/trainer/analysis may see
+        // every src module.
+        {"src/boreas",
+         {"src/common", "src/obs", "src/floorplan", "src/arch",
+          "src/workload", "src/power", "src/thermal", "src/sensors",
+          "src/hotspot", "src/ml", "src/control"}},
+    };
+    return kLayering;
+}
+
+bool
+isSrcModule(const std::string &mod)
+{
+    return mod.rfind("src/", 0) == 0;
+}
+
+/** May `from` include a file in `to`? */
+bool
+edgeAllowed(const std::string &from, const std::string &to)
+{
+    if (from == to)
+        return true;
+    // Harness zones: bench and tools sit on top of all of src;
+    // tests additionally drive tools and bench helpers.
+    if (from == "bench" || from == "tools")
+        return isSrcModule(to);
+    if (from == "tests")
+        return isSrcModule(to) || to == "tools" || to == "bench";
+    for (const Layer &l : layering()) {
+        if (from != l.module)
+            continue;
+        for (const char *d : l.deps) {
+            if (to == d)
+                return true;
+        }
+        return false;
+    }
+    return false; // unknown module: nothing sanctioned
+}
+
+std::string
+dirOf(const std::string &path)
+{
+    const size_t slash = path.rfind('/');
+    return slash == std::string::npos ? std::string()
+                                      : path.substr(0, slash + 1);
+}
+
+} // namespace
+
+std::string
+IncludeGraph::moduleOf(const std::string &relPath)
+{
+    if (relPath.rfind("src/", 0) == 0) {
+        const size_t slash = relPath.find('/', 4);
+        if (slash != std::string::npos)
+            return relPath.substr(0, slash);
+        return "src/boreas"; // loose src file: integration layer
+    }
+    for (const char *root : {"bench", "tests", "tools"}) {
+        const std::string prefix = std::string(root) + "/";
+        if (relPath.rfind(prefix, 0) == 0)
+            return root;
+    }
+    return {};
+}
+
+void
+IncludeGraph::addFile(const std::string &relPath,
+                      const FileContext *ctx)
+{
+    files_[relPath] = ctx;
+}
+
+void
+IncludeGraph::check(std::vector<Violation> &out) const
+{
+    // Resolve every quoted include to a registered file. Quoted repo
+    // includes are rooted at src/ or tools/ (the include dirs CMake
+    // declares); same-directory and harness-root forms are accepted
+    // too so the resolver never misses a real edge.
+    struct Edge
+    {
+        std::string to;
+        int line;
+    };
+    std::map<std::string, std::vector<Edge>> edges;
+    for (const auto &[path, ctx] : files_) {
+        for (const IncludeDirective &inc : ctx->lexed.includes) {
+            std::string resolved;
+            for (const std::string &cand :
+                 {"src/" + inc.path, "tools/" + inc.path,
+                  dirOf(path) + inc.path, "bench/" + inc.path,
+                  "tests/" + inc.path, inc.path}) {
+                if (files_.count(cand)) {
+                    resolved = cand;
+                    break;
+                }
+            }
+            if (resolved.empty())
+                continue; // system / external header
+            edges[path].push_back({resolved, inc.line});
+        }
+    }
+
+    // Pass 2a: layering.
+    for (const auto &[path, ctx] : files_) {
+        const std::string from = moduleOf(path);
+        if (from.empty())
+            continue;
+        auto it = edges.find(path);
+        if (it == edges.end())
+            continue;
+        for (const Edge &e : it->second) {
+            const std::string to = moduleOf(e.to);
+            if (to.empty() || edgeAllowed(from, to))
+                continue;
+            if (allows(*ctx, static_cast<size_t>(e.line - 1),
+                       "layering"))
+                continue;
+            out.push_back(
+                {path, e.line, "layering",
+                 "include of " + e.to + " crosses the layering DAG: " +
+                     from + " may not depend on " + to +
+                     " (see DESIGN.md §11; extending the DAG is a "
+                     "design change, not a lint tweak)"});
+        }
+    }
+
+    // Pass 2b: cycles, via iterative DFS with a color map. Each
+    // unique cycle is reported once, keyed by its sorted node set.
+    std::map<std::string, int> color; // 0 white, 1 grey, 2 black
+    std::vector<std::string> stack;
+    std::set<std::string> reported;
+
+    // Recursive lambda via explicit work list keeps this immune to
+    // deep include chains.
+    struct Frame
+    {
+        std::string node;
+        size_t next = 0;
+    };
+    for (const auto &[start, ctx_unused] : files_) {
+        (void)ctx_unused;
+        if (color[start] != 0)
+            continue;
+        std::vector<Frame> work;
+        work.push_back({start});
+        color[start] = 1;
+        stack.push_back(start);
+        while (!work.empty()) {
+            Frame &f = work.back();
+            const auto eit = edges.find(f.node);
+            const size_t degree =
+                eit == edges.end() ? 0 : eit->second.size();
+            if (f.next >= degree) {
+                color[f.node] = 2;
+                stack.pop_back();
+                work.pop_back();
+                continue;
+            }
+            const Edge &e = eit->second[f.next++];
+            if (color[e.to] == 1) {
+                // Back edge: the cycle is the stack suffix from e.to.
+                auto at = std::find(stack.begin(), stack.end(), e.to);
+                std::vector<std::string> cycle(at, stack.end());
+                std::vector<std::string> key = cycle;
+                std::sort(key.begin(), key.end());
+                std::string key_s;
+                for (const std::string &k : key)
+                    key_s += k + "|";
+                if (reported.insert(key_s).second) {
+                    std::string chain;
+                    for (const std::string &n : cycle)
+                        chain += n + " -> ";
+                    chain += e.to;
+                    // Anchored at the back-edge include line.
+                    out.push_back({f.node, e.line, "include-cycle",
+                                   "include cycle: " + chain});
+                }
+            } else if (color[e.to] == 0) {
+                color[e.to] = 1;
+                stack.push_back(e.to);
+                work.push_back({e.to});
+            }
+        }
+    }
+}
+
+} // namespace boreas::lint

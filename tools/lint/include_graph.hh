@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Repo-level include-graph pass (pass 2). Consumes the per-file
+ * contexts pass 1 produced and enforces two properties the per-file
+ * rules cannot see:
+ *
+ *   layering        Every cross-module include must follow the
+ *                   declared layering DAG (see kLayering in
+ *                   include_graph.cc, mirrored in DESIGN.md §11).
+ *                   The DAG is the architecture: obs is std-only so
+ *                   everything may instrument itself; common may use
+ *                   obs; physics modules stack on common; only
+ *                   src/boreas sees everything.
+ *   include-cycle   No cycles among repo headers, ever.
+ *
+ * Files are added by repo-relative path; includes that resolve to no
+ * added file are treated as system headers and ignored.
+ */
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/rule.hh"
+
+namespace boreas::lint
+{
+
+class IncludeGraph
+{
+  public:
+    /** Register one lexed file. `ctx` must outlive the graph. */
+    void addFile(const std::string &relPath, const FileContext *ctx);
+
+    /** Run the layering + cycle checks over every added file. */
+    void check(std::vector<Violation> &out) const;
+
+    /** Layering module of a repo-relative path ("src/common",
+     *  "bench", ...), or "" when the path is outside the DAG. */
+    static std::string moduleOf(const std::string &relPath);
+
+  private:
+    std::map<std::string, const FileContext *> files_;
+};
+
+} // namespace boreas::lint

@@ -1,0 +1,317 @@
+#include "lint/lexer.hh"
+
+#include <cctype>
+
+namespace boreas::lint
+{
+
+namespace
+{
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isRawStringPrefix(const std::string &ident)
+{
+    return ident == "R" || ident == "LR" || ident == "uR" ||
+        ident == "UR" || ident == "u8R";
+}
+
+/** d-chars may not contain space, parens, or backslash; max 16. */
+bool
+isRawDelimChar(char c)
+{
+    return c != ' ' && c != '(' && c != ')' && c != '\\' &&
+        c != '\t' && c != '\n';
+}
+
+/** Multi-char punctuators, longest first within each leading char. */
+const char *const kPunct3[] = {"<<=", ">>=", "...", "->*"};
+const char *const kPunct2[] = {"::", "->", "++", "--", "<<", ">>",
+                               "<=", ">=", "==", "!=", "&&", "||",
+                               "+=", "-=", "*=", "/=", "%=", "&=",
+                               "|=", "^=", "##"};
+
+} // namespace
+
+std::vector<std::string>
+splitLines(const std::string &content)
+{
+    std::vector<std::string> lines;
+    size_t start = 0;
+    for (;;) {
+        const size_t nl = content.find('\n', start);
+        if (nl == std::string::npos) {
+            lines.push_back(content.substr(start));
+            return lines;
+        }
+        lines.push_back(content.substr(start, nl - start));
+        start = nl + 1;
+    }
+}
+
+LexedFile
+lex(const std::string &content)
+{
+    LexedFile out;
+    out.lines.push_back({});
+
+    bool pp_line = false;       // current line is a #-directive
+    bool pp_continues = false;  // previous pp line ended in backslash
+    bool line_has_code = false; // non-space code seen on this line
+
+    auto newline = [&] {
+        out.lines.push_back({});
+        pp_line = pp_continues;
+        pp_continues = false;
+        line_has_code = pp_line;
+    };
+    auto emit = [&](TokenKind kind, std::string text) {
+        if (!pp_line)
+            out.tokens.push_back(
+                {kind, std::move(text),
+                 static_cast<int>(out.lines.size())});
+    };
+
+    const size_t n = content.size();
+    size_t i = 0;
+    while (i < n) {
+        ScannedLine &cur = out.lines.back();
+        const char c = content[i];
+        const char next = i + 1 < n ? content[i + 1] : '\0';
+
+        if (c == '\n') {
+            newline();
+            ++i;
+            continue;
+        }
+
+        // Comments.
+        if (c == '/' && next == '/') {
+            const size_t nl = content.find('\n', i);
+            const size_t end = nl == std::string::npos ? n : nl;
+            cur.comment.append(content, i + 2, end - i - 2);
+            i = end;
+            continue;
+        }
+        if (c == '/' && next == '*') {
+            i += 2;
+            for (;;) {
+                if (i >= n)
+                    break;
+                if (content[i] == '*' && i + 1 < n &&
+                    content[i + 1] == '/') {
+                    i += 2;
+                    break;
+                }
+                if (content[i] == '\n')
+                    newline();
+                else
+                    out.lines.back().comment.push_back(content[i]);
+                ++i;
+            }
+            continue;
+        }
+
+        // Preprocessor directive start: '#' as the first non-space
+        // code character of the line.
+        if (c == '#' && !line_has_code) {
+            pp_line = true;
+            line_has_code = true;
+            cur.code.push_back('#');
+            ++i;
+            continue;
+        }
+        if (pp_line && c == '\\' && (next == '\n' || next == '\0')) {
+            pp_continues = true;
+            cur.code.push_back('\\');
+            ++i;
+            continue;
+        }
+
+        // Identifiers (and possibly a raw-string prefix).
+        if (isIdentStart(c)) {
+            size_t j = i;
+            while (j < n && isIdentChar(content[j]))
+                ++j;
+            const std::string ident = content.substr(i, j - i);
+            cur.code.append(ident);
+            line_has_code = true;
+            if (j < n && content[j] == '"' &&
+                isRawStringPrefix(ident)) {
+                // Candidate raw string literal: R"delim( ... )delim".
+                // Validate the delimiter before committing; malformed
+                // forms lex as an ordinary string instead.
+                size_t paren = j + 1;
+                while (paren < n && paren <= j + 17 &&
+                       isRawDelimChar(content[paren]))
+                    ++paren;
+                if (paren < n && paren <= j + 17 &&
+                    content[paren] == '(') {
+                    const std::string delim =
+                        ")" + content.substr(j + 1, paren - j - 1) +
+                        "\"";
+                    const size_t close =
+                        content.find(delim, paren + 1);
+                    out.lines.back().code.push_back('"');
+                    emit(TokenKind::String, "\"\"");
+                    if (close == std::string::npos) {
+                        // Unterminated: blank to EOF, keep lines.
+                        for (size_t k = paren + 1; k < n; ++k) {
+                            if (content[k] == '\n')
+                                newline();
+                        }
+                        i = n;
+                        continue;
+                    }
+                    for (size_t k = j + 1;
+                         k < close + delim.size() - 1; ++k) {
+                        if (content[k] == '\n')
+                            newline();
+                    }
+                    out.lines.back().code.push_back('"');
+                    i = close + delim.size();
+                    continue;
+                }
+            }
+            emit(TokenKind::Identifier, ident);
+            i = j;
+            continue;
+        }
+
+        // Numbers (digit separators consumed here, so 1'000'000 never
+        // opens a char literal).
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t j = i;
+            while (j < n &&
+                   (isIdentChar(content[j]) || content[j] == '.' ||
+                    (content[j] == '\'' && j + 1 < n &&
+                     std::isalnum(
+                         static_cast<unsigned char>(content[j + 1])))))
+                ++j;
+            const std::string num = content.substr(i, j - i);
+            cur.code.append(num);
+            line_has_code = true;
+            emit(TokenKind::Number, num);
+            i = j;
+            continue;
+        }
+
+        // Ordinary string literal: quotes survive, body blanks.
+        if (c == '"') {
+            cur.code.push_back('"');
+            line_has_code = true;
+            ++i;
+            while (i < n && content[i] != '"' && content[i] != '\n') {
+                if (content[i] == '\\' && i + 1 < n &&
+                    content[i + 1] != '\n')
+                    ++i;
+                else
+                    out.lines.back().code.push_back(' ');
+                ++i;
+            }
+            if (i < n && content[i] == '"') {
+                out.lines.back().code.push_back('"');
+                ++i;
+            }
+            emit(TokenKind::String, "\"\"");
+            continue;
+        }
+
+        // Character literal.
+        if (c == '\'') {
+            cur.code.push_back('\'');
+            line_has_code = true;
+            ++i;
+            while (i < n && content[i] != '\'' && content[i] != '\n') {
+                if (content[i] == '\\' && i + 1 < n &&
+                    content[i + 1] != '\n')
+                    ++i;
+                else
+                    out.lines.back().code.push_back(' ');
+                ++i;
+            }
+            if (i < n && content[i] == '\'') {
+                out.lines.back().code.push_back('\'');
+                ++i;
+            }
+            emit(TokenKind::CharLit, "''");
+            continue;
+        }
+
+        // Whitespace.
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            cur.code.push_back(c);
+            ++i;
+            continue;
+        }
+
+        // Punctuation, longest match first.
+        std::string punct(1, c);
+        if (i + 2 < n) {
+            const std::string three = content.substr(i, 3);
+            for (const char *p : kPunct3) {
+                if (three == p) {
+                    punct = three;
+                    break;
+                }
+            }
+        }
+        if (punct.size() == 1 && i + 1 < n) {
+            const std::string two = content.substr(i, 2);
+            for (const char *p : kPunct2) {
+                if (two == p) {
+                    punct = two;
+                    break;
+                }
+            }
+        }
+        cur.code.append(punct);
+        line_has_code = true;
+        emit(TokenKind::Punct, punct);
+        i += punct.size();
+    }
+
+    // Include directives: the argument is a literal whose body the
+    // blanking removed, so re-parse the raw lines, gated on the
+    // scanned line actually being a preprocessor directive (a
+    // commented-out include scans to empty code).
+    const std::vector<std::string> raw = splitLines(content);
+    for (size_t li = 0; li < out.lines.size() && li < raw.size();
+         ++li) {
+        if (out.lines[li].code.find('#') == std::string::npos)
+            continue;
+        const std::string &line = raw[li];
+        size_t p = line.find_first_not_of(" \t");
+        if (p == std::string::npos || line[p] != '#')
+            continue;
+        p = line.find_first_not_of(" \t", p + 1);
+        if (p == std::string::npos ||
+            line.compare(p, 7, "include") != 0)
+            continue;
+        p = line.find_first_not_of(" \t", p + 7);
+        if (p == std::string::npos ||
+            (line[p] != '"' && line[p] != '<'))
+            continue;
+        const char close = line[p] == '<' ? '>' : '"';
+        const size_t end = line.find(close, p + 1);
+        if (end == std::string::npos)
+            continue;
+        out.includes.push_back({line[p] == '<' ? '<' : '"',
+                                line.substr(p + 1, end - p - 1),
+                                static_cast<int>(li + 1)});
+    }
+    return out;
+}
+
+} // namespace boreas::lint

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Pass 1 of the repo linter: a comment/string-aware lexer that turns a
+ * source file into
+ *
+ *   - per-line ScannedLine records (code with literals blanked out +
+ *     the line's comment text, for the regex-level rules and the
+ *     `boreas-lint: allow(...)` markers),
+ *   - a token stream (identifiers, numbers, multi-char punctuators)
+ *     for the structural rules (parallel-capture analysis, mutable
+ *     global detection),
+ *   - the file's #include directives with line numbers, feeding the
+ *     include-graph pass.
+ *
+ * Raw string literals are handled per the grammar: the prefix must be
+ * exactly R / LR / uR / UR / u8R (an arbitrary identifier ending in R,
+ * e.g. a macro name like `BAD_R`, is NOT a raw-string prefix), the
+ * d-char delimiter is at most 16 characters and may not contain
+ * spaces, parentheses or backslashes; anything malformed falls back to
+ * ordinary string lexing instead of swallowing the rest of the file.
+ * Rule content inside raw strings is blanked exactly like ordinary
+ * literals.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace boreas::lint
+{
+
+/**
+ * One physical line split into the code part (comments and literal
+ * bodies blanked out) and the comment part (for allow() markers).
+ */
+struct ScannedLine
+{
+    std::string code;
+    std::string comment;
+};
+
+/** Token kinds the structural rules care about. */
+enum class TokenKind
+{
+    Identifier, ///< identifiers and keywords
+    Number,     ///< numeric literals (incl. digit separators)
+    String,     ///< a string literal (text is the blanked "")
+    CharLit,    ///< a character literal
+    Punct,      ///< operators/punctuation, multi-char ops combined
+};
+
+struct Token
+{
+    TokenKind kind;
+    std::string text;
+    int line = 0; ///< 1-based
+};
+
+/** An #include directive, with the raw argument preserved. */
+struct IncludeDirective
+{
+    char kind = '"'; ///< '"' or '<'
+    std::string path;
+    int line = 0; ///< 1-based
+};
+
+/** The full lex of one file, shared by every analysis pass. */
+struct LexedFile
+{
+    std::vector<ScannedLine> lines;
+    /// Tokens from non-preprocessor lines only: directive bodies
+    /// (#define etc.) can contain unbalanced braces that would corrupt
+    /// the structural rules' scope tracking.
+    std::vector<Token> tokens;
+    std::vector<IncludeDirective> includes;
+};
+
+/** Lex `content`. Never fails; malformed input degrades gracefully. */
+LexedFile lex(const std::string &content);
+
+/** Split raw content into physical lines (keeps empty trailing line). */
+std::vector<std::string> splitLines(const std::string &content);
+
+} // namespace boreas::lint

@@ -1,389 +1,102 @@
 #include "lint/linter.hh"
 
 #include <algorithm>
-#include <cctype>
 #include <filesystem>
 #include <fstream>
-#include <regex>
 #include <sstream>
+
+#include "lint/include_graph.hh"
 
 namespace boreas::lint
 {
+
+namespace fs = std::filesystem;
 
 namespace
 {
 
 bool
-endsWith(const std::string &s, const std::string &suffix)
+isCxxSource(const fs::path &p)
 {
-    return s.size() >= suffix.size() &&
-        s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+    const std::string ext = p.extension().string();
+    return ext == ".hh" || ext == ".h" || ext == ".hpp" ||
+        ext == ".cc" || ext == ".cpp";
+}
+
+/** Directories the tree walk never descends into. */
+bool
+skipDir(const std::string &name)
+{
+    return name.empty() || name[0] == '.' ||
+        name.rfind("build", 0) == 0 || name == "lint_fixtures" ||
+        name == "third_party";
 }
 
 bool
-isHeader(const std::string &path)
+readFile(const std::string &path, std::string &out)
 {
-    return endsWith(path, ".hh") || endsWith(path, ".h") ||
-        endsWith(path, ".hpp");
-}
-
-/** Path component test robust to absolute/relative prefixes. */
-bool
-pathContains(const std::string &path, const std::string &fragment)
-{
-    return path.find(fragment) != std::string::npos;
-}
-
-/** The only module allowed to touch raw randomness primitives. */
-bool
-isRngModule(const std::string &path)
-{
-    return pathContains(path, "common/rng");
-}
-
-/** The only module allowed to use stdio streams directly. */
-bool
-isLoggingModule(const std::string &path)
-{
-    return pathContains(path, "common/logging");
-}
-
-/** The only modules allowed to open files for writing: the obs
- *  artifact sink (all BENCH_/TRACE_ output) and the workload trace
- *  serializer (boreas-trace-v1 files). */
-bool
-isFileSink(const std::string &path)
-{
-    return pathContains(path, "obs/export") ||
-        pathContains(path, "workload/trace_io");
-}
-
-/** Only the workload subsystem's registries construct specs. */
-bool
-isWorkloadModule(const std::string &path)
-{
-    return pathContains(path, "src/workload");
-}
-
-/**
- * One physical line split into the code part (comments and literal
- * bodies blanked out) and the comment part (for allow() markers).
- */
-struct ScannedLine
-{
-    std::string code;
-    std::string comment;
-};
-
-/**
- * Strip comments and string/char literals while preserving the line
- * structure. Literal bodies become spaces (their quotes survive so
- * include rules can still see "path" arguments — includes are handled
- * before stripping).
- */
-std::vector<ScannedLine>
-scan(const std::string &content)
-{
-    std::vector<ScannedLine> lines;
-    lines.push_back({});
-
-    enum class State { Code, Block, Str, Chr } state = State::Code;
-    for (size_t i = 0; i < content.size(); ++i) {
-        const char c = content[i];
-        const char next = i + 1 < content.size() ? content[i + 1] : '\0';
-        if (c == '\n') {
-            // A newline terminates an (unterminated) literal too —
-            // good enough for lint purposes.
-            if (state == State::Str || state == State::Chr)
-                state = State::Code;
-            lines.push_back({});
-            continue;
-        }
-        ScannedLine &cur = lines.back();
-        switch (state) {
-        case State::Code:
-            if (c == '/' && next == '/') {
-                cur.comment.append(content, i + 2,
-                                   content.find('\n', i) == std::string::npos
-                                       ? std::string::npos
-                                       : content.find('\n', i) - i - 2);
-                i = content.find('\n', i);
-                if (i == std::string::npos)
-                    return lines;
-                lines.push_back({});
-            } else if (c == '/' && next == '*') {
-                state = State::Block;
-                ++i;
-            } else if (c == '"') {
-                // Raw string literals: skip to the matching delimiter.
-                if (!cur.code.empty() && cur.code.back() == 'R') {
-                    const size_t paren = content.find('(', i);
-                    if (paren == std::string::npos)
-                        return lines;
-                    const std::string delim =
-                        ")" + content.substr(i + 1, paren - i - 1) + "\"";
-                    const size_t close = content.find(delim, paren);
-                    cur.code.push_back('"');
-                    if (close == std::string::npos)
-                        return lines;
-                    for (size_t j = i + 1; j < close + delim.size() - 1;
-                         ++j) {
-                        if (content[j] == '\n')
-                            lines.push_back({});
-                    }
-                    i = close + delim.size() - 1;
-                    lines.back().code.push_back('"');
-                } else {
-                    cur.code.push_back('"');
-                    state = State::Str;
-                }
-            } else if (c == '\'') {
-                cur.code.push_back('\'');
-                // A quote directly after an alphanumeric is a digit
-                // separator (1'000'000), not a char literal.
-                if (cur.code.size() < 2 ||
-                    !std::isalnum(static_cast<unsigned char>(
-                        cur.code[cur.code.size() - 2])))
-                    state = State::Chr;
-            } else {
-                cur.code.push_back(c);
-            }
-            break;
-        case State::Block:
-            if (c == '*' && next == '/') {
-                state = State::Code;
-                ++i;
-            } else {
-                cur.comment.push_back(c);
-            }
-            break;
-        case State::Str:
-            if (c == '\\') {
-                ++i;
-            } else if (c == '"') {
-                cur.code.push_back('"');
-                state = State::Code;
-            } else {
-                cur.code.push_back(' ');
-            }
-            break;
-        case State::Chr:
-            if (c == '\\') {
-                ++i;
-            } else if (c == '\'') {
-                cur.code.push_back('\'');
-                state = State::Code;
-            } else {
-                cur.code.push_back(' ');
-            }
-            break;
-        }
-    }
-    return lines;
-}
-
-bool
-lineAllows(const ScannedLine &line, const std::string &rule)
-{
-    const std::string marker = "boreas-lint: allow(" + rule + ")";
-    return line.comment.find(marker) != std::string::npos;
-}
-
-/**
- * An allow() marker applies on the offending line itself or on an
- * immediately preceding comment-only line.
- */
-bool
-allows(const std::vector<ScannedLine> &lines, size_t i,
-       const std::string &rule)
-{
-    if (lineAllows(lines[i], rule))
-        return true;
-    if (i == 0)
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
         return false;
-    const ScannedLine &prev = lines[i - 1];
-    const bool comment_only = std::all_of(
-        prev.code.begin(), prev.code.end(),
-        [](unsigned char c) { return std::isspace(c); });
-    return comment_only && lineAllows(prev, rule);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
 }
 
-struct LineRule
-{
-    std::string id;
-    std::regex pattern;
-    std::string message;
-    bool headersOnly = false;
-    bool (*exempt)(const std::string &path) = nullptr;
-};
-
-const std::vector<LineRule> &
-lineRules()
-{
-    static const std::vector<LineRule> kRules = {
-        {"raw-random",
-         std::regex(R"((\bstd::random_device\b|\bstd::mt19937|\bstd::default_random_engine\b|\bstd::minstd_rand|\buniform_int_distribution\b|\buniform_real_distribution\b|\brand\s*\(|\bsrand\s*\(|\bdrand48\s*\(|#\s*include\s*<random>))"),
-         "raw randomness outside src/common/rng; draw from the seeded "
-         "boreas::Rng instead",
-         false, isRngModule},
-        {"unordered-container",
-         std::regex(R"(\bstd::unordered_(map|set|multimap|multiset)\b)"),
-         "unordered containers iterate in implementation-defined order "
-         "(breaks ordered output / FP-sum determinism); use std::map or "
-         "std::vector, or justify a never-iterated use with an allow()",
-         false, nullptr},
-        {"direct-stdio",
-         std::regex(R"((\bstd::cout\b|\bstd::cerr\b|(?:^|[^\w:.>])printf\s*\(|\bputs\s*\(|\bputchar\s*\(|\bfprintf\s*\(\s*(?:stdout|stderr)\b))"),
-         "direct stdio outside src/common/logging; use boreas_inform / "
-         "boreas_warn / boreas_panic / boreas_fatal",
-         false, isLoggingModule},
-        {"raw-file-output",
-         std::regex(R"((\bstd::ofstream\b|\bstd::fstream\b|\bstd::filebuf\b|(^|[^\w:.>])fopen\s*\(|(^|[^\w:.>])freopen\s*\())"),
-         "file output outside the designated sinks (src/obs/export, "
-         "src/workload/trace_io); route artifacts through them so "
-         "every file the simulator writes has one auditable schema",
-         false, isFileSink},
-        {"workload-spec-construction",
-         std::regex(R"(\bWorkloadSpec\s*\{|\bWorkloadSpec\s+\w+\s*(;|=|\{)|\bmake_unique\s*<\s*[\w:]*WorkloadSpec\b|(^|[^\w.:>])new\s+[\w:]*WorkloadSpec\b|\bvector\s*<\s*[\w:]*WorkloadSpec\s*>)"),
-         "WorkloadSpec constructed outside src/workload; obtain "
-         "workloads through the source registry "
-         "(workload/registry.hh) or the suite accessors so every "
-         "stimulus is a named, registered source",
-         false, isWorkloadModule},
-        {"raw-new-delete",
-         std::regex(R"((^|[^\w.:>])new\s+[A-Za-z_(]|(^|[^\w.:>=]|[^=] )delete\s*(\[\s*\])?\s+[A-Za-z_(*]|(^|[^\w.:>])delete\s+this\b)"),
-         "raw new/delete; own memory via containers or smart pointers",
-         false, nullptr},
-        {"header-hygiene",
-         std::regex(R"(\busing\s+namespace\s)"),
-         "`using namespace` at header scope pollutes every includer",
-         true, nullptr},
-    };
-    return kRules;
-}
-
-std::regex &
-includeRegex()
-{
-    static std::regex re(R"(^\s*#\s*include\s*([<"])([^>"]+)[>"])");
-    return re;
-}
-
-/**
- * Include arguments are string literals, which scan() blanks out, so
- * this rule reads the raw line — gated on the scanned line still
- * being a preprocessor directive (a commented-out include scans to
- * empty code and is skipped).
- */
+/** Collect lintable files under `root` (or `root` itself). */
 void
-checkIncludeStyle(const std::string &path,
-                  const std::vector<std::string> &raw_lines,
-                  const std::vector<ScannedLine> &lines,
-                  std::vector<Violation> &out)
+collectFiles(const std::string &root, std::vector<std::string> &out)
 {
-    for (size_t i = 0; i < lines.size() && i < raw_lines.size(); ++i) {
-        if (lines[i].code.find('#') == std::string::npos)
-            continue;
-        std::smatch m;
-        if (!std::regex_search(raw_lines[i], m, includeRegex()))
-            continue;
-        if (allows(lines, i, "include-style"))
-            continue;
-        const std::string kind = m[1];
-        const std::string inc = m[2];
-        std::string why;
-        if (inc.find("..") != std::string::npos)
-            why = "contains '..'";
-        else if (!inc.empty() && inc[0] == '/')
-            why = "is absolute";
-        else if (kind == "<" && inc.rfind("boreas/", 0) == 0)
-            why = "uses <boreas/...> for a repo header (quote it)";
-        else if (kind == "\"" &&
-                 (endsWith(inc, ".cc") || endsWith(inc, ".cpp")))
-            why = "includes a source file";
-        if (!why.empty()) {
-            out.push_back({path, static_cast<int>(i + 1),
-                           "include-style",
-                           "#include \"" + inc + "\" " + why});
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+        for (auto it = fs::recursive_directory_iterator(root, ec);
+             !ec && it != fs::recursive_directory_iterator();
+             it.increment(ec)) {
+            if (it->is_directory() &&
+                skipDir(it->path().filename().string())) {
+                it.disable_recursion_pending();
+                continue;
+            }
+            if (it->is_regular_file() && isCxxSource(it->path()))
+                out.push_back(it->path().string());
         }
+    } else {
+        out.push_back(root);
     }
+}
+
+/** Display path: relative to repoRoot when it is a prefix. */
+std::string
+displayPath(const std::string &path, const std::string &repoRoot)
+{
+    if (repoRoot.empty())
+        return path;
+    std::string root = repoRoot;
+    if (root.back() != '/')
+        root += '/';
+    std::error_code ec;
+    const std::string canon = fs::weakly_canonical(path, ec).string();
+    const std::string canon_root =
+        fs::weakly_canonical(repoRoot, ec).string() + "/";
+    if (!ec && canon.rfind(canon_root, 0) == 0)
+        return canon.substr(canon_root.size());
+    if (path.rfind(root, 0) == 0)
+        return path.substr(root.size());
+    return path;
 }
 
 void
-checkHeaderGuard(const std::string &path,
-                 const std::vector<ScannedLine> &lines,
-                 std::vector<Violation> &out)
+sortViolations(std::vector<Violation> &v)
 {
-    bool pragma_once = false;
-    int guard_line = 0;
-    for (size_t i = 0; i < lines.size(); ++i) {
-        const std::string &code = lines[i].code;
-        if (code.find("#pragma once") != std::string::npos)
-            pragma_once = true;
-        if (guard_line == 0 &&
-            std::regex_search(
-                code, std::regex(R"(^\s*#\s*ifndef\s+\w*_HH?\b)")))
-            guard_line = static_cast<int>(i + 1);
-    }
-    if (!pragma_once) {
-        out.push_back({path, 1, "header-guard",
-                       "header lacks #pragma once"});
-    } else if (guard_line != 0) {
-        out.push_back({path, guard_line, "header-guard",
-                       "legacy #ifndef include guard alongside "
-                       "#pragma once"});
-    }
-}
-
-std::vector<std::string>
-splitLines(const std::string &content)
-{
-    std::vector<std::string> lines;
-    size_t start = 0;
-    for (;;) {
-        const size_t nl = content.find('\n', start);
-        if (nl == std::string::npos) {
-            lines.push_back(content.substr(start));
-            return lines;
-        }
-        lines.push_back(content.substr(start, nl - start));
-        start = nl + 1;
-    }
-}
-
-void
-lintLines(const std::string &path,
-          const std::vector<std::string> &raw_lines,
-          const std::vector<ScannedLine> &lines,
-          std::vector<Violation> &out)
-{
-    const bool header = isHeader(path);
-    for (const LineRule &rule : lineRules()) {
-        if (rule.headersOnly && !header)
-            continue;
-        if (rule.exempt && rule.exempt(path))
-            continue;
-        for (size_t i = 0; i < lines.size(); ++i) {
-            if (!std::regex_search(lines[i].code, rule.pattern))
-                continue;
-            if (allows(lines, i, rule.id))
-                continue;
-            // `= delete` / `= delete("...")` declarations and
-            // user-declared operator delete are not raw deallocation.
-            if (rule.id == "raw-new-delete" &&
-                std::regex_search(
-                    lines[i].code,
-                    std::regex(R"((=\s*delete\b|operator\s+(new|delete)))")) &&
-                !std::regex_search(lines[i].code,
-                                   std::regex(R"(delete\s+this\b)")))
-                continue;
-            out.push_back({path, static_cast<int>(i + 1), rule.id,
-                           rule.message});
-        }
-    }
-    checkIncludeStyle(path, raw_lines, lines, out);
-    if (header)
-        checkHeaderGuard(path, lines, out);
+    std::stable_sort(v.begin(), v.end(),
+                     [](const Violation &a, const Violation &b) {
+                         if (a.file != b.file)
+                             return a.file < b.file;
+                         if (a.line != b.line)
+                             return a.line < b.line;
+                         return a.rule < b.rule;
+                     });
 }
 
 } // namespace
@@ -391,49 +104,63 @@ lintLines(const std::string &path,
 std::vector<Violation>
 lintContent(const std::string &path, const std::string &content)
 {
+    const FileContext ctx = makeFileContext(path, content);
     std::vector<Violation> out;
-    lintLines(path, splitLines(content), scan(content), out);
+    for (const Rule &rule : ruleRegistry())
+        rule.check(ctx, out);
+    sortViolations(out);
     return out;
 }
 
 std::vector<Violation>
 lintPath(const std::string &root)
 {
-    namespace fs = std::filesystem;
-    std::vector<Violation> out;
+    TreeLintOptions opts;
+    opts.includeGraph = false;
+    return lintTree({root}, opts).violations;
+}
 
-    std::vector<std::string> files;
-    std::error_code ec;
-    if (fs::is_directory(root, ec)) {
-        for (fs::recursive_directory_iterator it(root, ec), end;
-             it != end; it.increment(ec)) {
-            if (ec)
-                break;
-            if (!it->is_regular_file())
-                continue;
-            const std::string p = it->path().string();
-            if (endsWith(p, ".hh") || endsWith(p, ".h") ||
-                endsWith(p, ".hpp") || endsWith(p, ".cc") ||
-                endsWith(p, ".cpp"))
-                files.push_back(p);
-        }
-    } else {
-        files.push_back(root);
-    }
-    std::sort(files.begin(), files.end());
+TreeLintResult
+lintTree(const std::vector<std::string> &roots,
+         const TreeLintOptions &opts)
+{
+    TreeLintResult result;
 
-    for (const std::string &file : files) {
-        std::ifstream in(file, std::ios::binary);
-        if (!in) {
-            out.push_back({file, 0, "io", "cannot read file"});
+    std::vector<std::string> paths;
+    for (const std::string &root : roots)
+        collectFiles(root, paths);
+    std::sort(paths.begin(), paths.end());
+    paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+
+    // Pass 1: lex + per-file rules. Contexts are kept alive for the
+    // graph pass, which borrows them.
+    std::vector<FileContext> contexts;
+    contexts.reserve(paths.size());
+    for (const std::string &path : paths) {
+        const std::string display = displayPath(path, opts.repoRoot);
+        std::string content;
+        if (!readFile(path, content)) {
+            result.violations.push_back(
+                {display, 0, "io", "cannot read file"});
             continue;
         }
-        std::ostringstream ss;
-        ss << in.rdbuf();
-        const auto file_out = lintContent(file, ss.str());
-        out.insert(out.end(), file_out.begin(), file_out.end());
+        ++result.filesScanned;
+        contexts.push_back(makeFileContext(display, content));
+        const FileContext &ctx = contexts.back();
+        for (const Rule &rule : ruleRegistry())
+            rule.check(ctx, result.violations);
     }
-    return out;
+
+    // Pass 2: repo-level include graph (needs repo-relative paths).
+    if (opts.includeGraph && !opts.repoRoot.empty()) {
+        IncludeGraph graph;
+        for (const FileContext &ctx : contexts)
+            graph.addFile(ctx.path, &ctx);
+        graph.check(result.violations);
+    }
+
+    sortViolations(result.violations);
+    return result;
 }
 
 std::string

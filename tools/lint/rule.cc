@@ -1,0 +1,159 @@
+#include "lint/rule.hh"
+
+#include <algorithm>
+#include <cctype>
+
+namespace boreas::lint
+{
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+        s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool
+pathContains(const std::string &path, const std::string &fragment)
+{
+    return path.find(fragment) != std::string::npos;
+}
+
+namespace
+{
+
+bool
+hasSegment(const std::string &path, const std::string &seg)
+{
+    // Match `seg` as a whole path component (start-of-string or '/'
+    // on the left, '/' on the right).
+    size_t pos = 0;
+    while ((pos = path.find(seg, pos)) != std::string::npos) {
+        const bool left = pos == 0 || path[pos - 1] == '/';
+        const size_t end = pos + seg.size();
+        const bool right = end < path.size() && path[end] == '/';
+        if (left && right)
+            return true;
+        pos = end;
+    }
+    return false;
+}
+
+bool
+isHeaderPath(const std::string &path)
+{
+    return endsWith(path, ".hh") || endsWith(path, ".h") ||
+        endsWith(path, ".hpp");
+}
+
+bool
+lineAllows(const ScannedLine &line, const std::string &rule)
+{
+    const std::string marker = "boreas-lint: allow(" + rule + ")";
+    return line.comment.find(marker) != std::string::npos;
+}
+
+} // namespace
+
+Zone
+zoneOf(const std::string &path)
+{
+    if (hasSegment(path, "lint_fixtures"))
+        return Zone::Fixture;
+    if (hasSegment(path, "src"))
+        return Zone::Src;
+    if (hasSegment(path, "bench"))
+        return Zone::Bench;
+    if (hasSegment(path, "tests"))
+        return Zone::Tests;
+    if (hasSegment(path, "tools"))
+        return Zone::Tools;
+    return Zone::Other;
+}
+
+FileContext
+makeFileContext(const std::string &path, const std::string &content)
+{
+    FileContext ctx;
+    ctx.path = path;
+    ctx.zone = zoneOf(path);
+    ctx.header = isHeaderPath(path);
+    ctx.rawLines = splitLines(content);
+    ctx.lexed = lex(content);
+
+    // File-scope suppressions: `// boreas-lint: allow-file(<rule>)`
+    // markers are honored only in the file header — the leading run
+    // of comment-only/blank lines before the first code line — so a
+    // reviewer finds every file-wide exception in one screenful.
+    for (const ScannedLine &line : ctx.lexed.lines) {
+        const bool blank_code = std::all_of(
+            line.code.begin(), line.code.end(), [](unsigned char c) {
+                return std::isspace(c);
+            });
+        if (!blank_code)
+            break;
+        static const std::string kMarker = "boreas-lint: allow-file(";
+        size_t pos = 0;
+        while ((pos = line.comment.find(kMarker, pos)) !=
+               std::string::npos) {
+            const size_t start = pos + kMarker.size();
+            const size_t close = line.comment.find(')', start);
+            if (close == std::string::npos)
+                break;
+            ctx.allowFile.insert(
+                line.comment.substr(start, close - start));
+            pos = close + 1;
+        }
+    }
+    return ctx;
+}
+
+bool
+allows(const FileContext &ctx, size_t i, const std::string &rule)
+{
+    if (ctx.allowFile.count(rule))
+        return true;
+    const auto &lines = ctx.lexed.lines;
+    if (i >= lines.size())
+        return false;
+    if (lineAllows(lines[i], rule))
+        return true;
+    if (i == 0)
+        return false;
+    const ScannedLine &prev = lines[i - 1];
+    const bool comment_only = std::all_of(
+        prev.code.begin(), prev.code.end(),
+        [](unsigned char c) { return std::isspace(c); });
+    return comment_only && lineAllows(prev, rule);
+}
+
+const std::vector<Rule> &
+ruleRegistry()
+{
+    static const std::vector<Rule> kRules = [] {
+        std::vector<Rule> rules;
+        registerStyleRules(rules);
+        registerConcurrencyRules(rules);
+        return rules;
+    }();
+    return kRules;
+}
+
+std::string
+ruleSummary(const std::string &id)
+{
+    for (const Rule &r : ruleRegistry()) {
+        if (id == r.id)
+            return r.summary;
+    }
+    // Repo-level passes and the reader's own diagnostics.
+    if (id == "layering")
+        return "include crosses the declared module layering DAG";
+    if (id == "include-cycle")
+        return "include cycle between repo headers";
+    if (id == "io")
+        return "file could not be read";
+    return "boreas_lint finding";
+}
+
+} // namespace boreas::lint

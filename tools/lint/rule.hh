@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The rule registry for the multi-pass linter. Each rule sees one
+ * fully lexed file (FileContext) and appends Violations; repo-level
+ * passes (the include graph) live in include_graph.hh and consume the
+ * same contexts.
+ *
+ * Rule applicability is scoped by Zone — the top-level tree a file
+ * lives in. The src/ zone carries the full determinism rule set;
+ * bench/, tests/ and tools/ are CLI/test code where e.g. stdio and
+ * wall-clock are the point, so only the hygiene rules apply there.
+ * Files under tests/lint_fixtures/ are classified Zone::Fixture and
+ * are linted with the full src/ rule set — they exist to exercise it.
+ */
+
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hh"
+
+namespace boreas::lint
+{
+
+/** One rule violation at a source location. */
+struct Violation
+{
+    std::string file;
+    int line = 0;
+    std::string rule;
+    std::string message;
+};
+
+/** Which top-level tree a path belongs to (see file comment). */
+enum class Zone
+{
+    Src,     ///< src/ — full determinism rule set
+    Bench,   ///< bench/ — timing/printing allowed
+    Tests,   ///< tests/ — gtest code
+    Tools,   ///< tools/ — CLI utilities
+    Fixture, ///< tests/lint_fixtures/ — linted as src
+    Other,   ///< unknown root — linted as src (strictest)
+};
+
+Zone zoneOf(const std::string &path);
+
+/** Everything the per-file rules get to look at. */
+struct FileContext
+{
+    std::string path; ///< as passed in (display + path predicates)
+    Zone zone = Zone::Other;
+    bool header = false;
+    std::vector<std::string> rawLines;
+    LexedFile lexed;
+    /// Rules suppressed file-wide by a header-of-file
+    /// `// boreas-lint: allow-file(<rule>)` marker.
+    std::set<std::string> allowFile;
+};
+
+/** Build a context (lex + allow-file scan) from raw content. */
+FileContext makeFileContext(const std::string &path,
+                            const std::string &content);
+
+/**
+ * True if `rule` is suppressed at line index `i` (0-based): an
+ * `allow(rule)` marker on the line or an immediately preceding
+ * comment-only line, or an allow-file(rule) in the file header.
+ */
+bool allows(const FileContext &ctx, size_t i, const std::string &rule);
+
+/** True if the zone is linted with the src/ determinism rule set. */
+inline bool
+srcLike(Zone z)
+{
+    return z == Zone::Src || z == Zone::Fixture || z == Zone::Other;
+}
+
+/** Path component test robust to absolute/relative prefixes. */
+bool pathContains(const std::string &path, const std::string &fragment);
+
+bool endsWith(const std::string &s, const std::string &suffix);
+
+/** A registered per-file rule. */
+struct Rule
+{
+    std::string id;
+    /// One-line description, surfaced as SARIF rule metadata.
+    std::string summary;
+    std::function<void(const FileContext &ctx,
+                       std::vector<Violation> &out)>
+        check;
+};
+
+/** All per-file rules (style + concurrency), in reporting order. */
+const std::vector<Rule> &ruleRegistry();
+
+/** The rule summary for an id (include-graph rules included). */
+std::string ruleSummary(const std::string &id);
+
+// Registration hooks, one per rules/*.cc translation unit.
+void registerStyleRules(std::vector<Rule> &out);
+void registerConcurrencyRules(std::vector<Rule> &out);
+
+} // namespace boreas::lint

@@ -1,0 +1,119 @@
+#include "lint/sarif.hh"
+
+#include <map>
+#include <set>
+
+namespace boreas::lint
+{
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (unsigned char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            if (c < 0x20) {
+                static const char *hex = "0123456789abcdef";
+                out += "\\u00";
+                out += hex[c >> 4];
+                out += hex[c & 0xf];
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+toSarif(const std::vector<Violation> &violations)
+{
+    // Rule metadata: every rule that appears in the results, sorted
+    // by id so the log is deterministic regardless of finding order.
+    std::set<std::string> rule_ids;
+    for (const Violation &v : violations)
+        rule_ids.insert(v.rule);
+
+    std::string out;
+    out +=
+        "{\n"
+        "  \"$schema\": "
+        "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+        "  \"version\": \"2.1.0\",\n"
+        "  \"runs\": [\n"
+        "    {\n"
+        "      \"tool\": {\n"
+        "        \"driver\": {\n"
+        "          \"name\": \"boreas_lint\",\n"
+        "          \"informationUri\": "
+        "\"https://example.invalid/boreas\",\n"
+        "          \"rules\": [";
+    bool first = true;
+    for (const std::string &id : rule_ids) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "            {\n";
+        out += "              \"id\": \"" + jsonEscape(id) + "\",\n";
+        out += "              \"shortDescription\": { \"text\": \"" +
+            jsonEscape(ruleSummary(id)) + "\" }\n";
+        out += "            }";
+    }
+    out += rule_ids.empty() ? "]\n" : "\n          ]\n";
+    out +=
+        "        }\n"
+        "      },\n"
+        "      \"results\": [";
+    first = true;
+    for (const Violation &v : violations) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "        {\n";
+        out += "          \"ruleId\": \"" + jsonEscape(v.rule) +
+            "\",\n";
+        out += "          \"level\": \"error\",\n";
+        out += "          \"message\": { \"text\": \"" +
+            jsonEscape(v.message) + "\" },\n";
+        out += "          \"locations\": [\n";
+        out += "            {\n";
+        out += "              \"physicalLocation\": {\n";
+        out +=
+            "                \"artifactLocation\": { \"uri\": \"" +
+            jsonEscape(v.file) + "\" },\n";
+        out += "                \"region\": { \"startLine\": " +
+            std::to_string(v.line < 1 ? 1 : v.line) + " }\n";
+        out += "              }\n";
+        out += "            }\n";
+        out += "          ]\n";
+        out += "        }";
+    }
+    out += violations.empty() ? "]\n" : "\n      ]\n";
+    out +=
+        "    }\n"
+        "  ]\n"
+        "}\n";
+    return out;
+}
+
+} // namespace boreas::lint

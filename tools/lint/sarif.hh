@@ -1,0 +1,22 @@
+/**
+ * @file
+ * SARIF 2.1.0 serialization of lint findings, for GitHub code
+ * scanning annotations. Output is deterministic: results keep the
+ * caller's order, rule metadata is emitted sorted by id, and the
+ * writer is byte-stable so the golden-file test can compare exactly.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/rule.hh"
+
+namespace boreas::lint
+{
+
+/** Render violations as a complete SARIF 2.1.0 log (one run). */
+std::string toSarif(const std::vector<Violation> &violations);
+
+} // namespace boreas::lint
