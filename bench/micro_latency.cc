@@ -1,9 +1,13 @@
 /**
  * @file
  * Google-benchmark microbenchmarks of the hot paths backing the
- * Sec. V-E overhead discussion: one GBT prediction, one controller
- * decision, one thermal step, one MLTD/severity evaluation, and one
- * full pipeline telemetry step.
+ * Sec. V-E overhead discussion: one GBT prediction (reference walk and
+ * flat engine), one controller decision, one thermal step, one
+ * MLTD/severity evaluation, and one full pipeline telemetry step.
+ *
+ * Every benchmark runs kRepetitions times so the capturing reporter
+ * can surface tail latency: the artifact's "latency" series carries
+ * mean/p50/p99 per benchmark in the same schema gbt_throughput emits.
  */
 
 #include <benchmark/benchmark.h>
@@ -16,6 +20,7 @@
 #include "common/table.hh"
 #include "control/boreas_controller.hh"
 #include "ml/feature_schema.hh"
+#include "ml/gbt_flat.hh"
 #include "report.hh"
 #include "workload/registry.hh"
 #include "workload/spec2006.hh"
@@ -28,6 +33,10 @@ namespace
 /** --workload spec captured in main() before benchmarks run; it swaps
  *  the stimulus behind BM_PipelineTelemetryStep (default bzip2). */
 std::string g_workload_spec; // NOLINT
+
+/** Per-benchmark repetitions: enough samples for a meaningful p99 of
+ *  the per-repetition timing without blowing up the wall time. */
+constexpr int kRepetitions = 15;
 
 /** Shared state built once (training is expensive). */
 struct MicroState
@@ -64,6 +73,16 @@ state()
 
 } // namespace
 
+/** Shared registration: repetitions give the reporter a sample set
+ *  per benchmark; MinTime keeps 15 reps affordable in CI. */
+static void
+microBench(benchmark::internal::Benchmark *b)
+{
+    b->Repetitions(kRepetitions)
+        ->ReportAggregatesOnly(false)
+        ->MinTime(0.05);
+}
+
 static void
 BM_GBTPrediction(benchmark::State &bm)
 {
@@ -72,7 +91,18 @@ BM_GBTPrediction(benchmark::State &bm)
     for (auto _ : bm)
         benchmark::DoNotOptimize(s.trained.model.predict(x.data()));
 }
-BENCHMARK(BM_GBTPrediction);
+BENCHMARK(BM_GBTPrediction)->Apply(microBench);
+
+static void
+BM_FlatGBTPrediction(benchmark::State &bm)
+{
+    MicroState &s = state();
+    const FlatGBT flat(s.trained.model);
+    std::vector<double> x(flat.numFeatures(), 0.5);
+    for (auto _ : bm)
+        benchmark::DoNotOptimize(flat.predictOne(x.data()));
+}
+BENCHMARK(BM_FlatGBTPrediction)->Apply(microBench);
 
 static void
 BM_ControllerDecision(benchmark::State &bm)
@@ -91,7 +121,7 @@ BM_ControllerDecision(benchmark::State &bm)
     for (auto _ : bm)
         benchmark::DoNotOptimize(ml05.decide(ctx));
 }
-BENCHMARK(BM_ControllerDecision);
+BENCHMARK(BM_ControllerDecision)->Apply(microBench);
 
 static void
 BM_ThermalStep80us(benchmark::State &bm)
@@ -103,7 +133,7 @@ BM_ThermalStep80us(benchmark::State &bm)
     for (auto _ : bm)
         grid.step(kTelemetryStep);
 }
-BENCHMARK(BM_ThermalStep80us);
+BENCHMARK(BM_ThermalStep80us)->Apply(microBench);
 
 static void
 BM_SeverityEvaluation(benchmark::State &bm)
@@ -118,7 +148,7 @@ BM_SeverityEvaluation(benchmark::State &bm)
             grid.siliconTemps(), grid.nx(), grid.ny(), cell));
     }
 }
-BENCHMARK(BM_SeverityEvaluation);
+BENCHMARK(BM_SeverityEvaluation)->Apply(microBench);
 
 static void
 BM_PipelineTelemetryStep(benchmark::State &bm)
@@ -127,7 +157,7 @@ BM_PipelineTelemetryStep(benchmark::State &bm)
     for (auto _ : bm)
         benchmark::DoNotOptimize(s.pipeline.step(4.0));
 }
-BENCHMARK(BM_PipelineTelemetryStep);
+BENCHMARK(BM_PipelineTelemetryStep)->Apply(microBench);
 
 static void
 BM_SteadyStateSolve(benchmark::State &bm)
@@ -144,38 +174,57 @@ BM_SteadyStateSolve(benchmark::State &bm)
         benchmark::DoNotOptimize(grid.solveSteadyState());
     }
 }
-BENCHMARK(BM_SteadyStateSolve);
+BENCHMARK(BM_SteadyStateSolve)->Apply(microBench);
 
 namespace
 {
 
 /**
  * Console reporter that additionally captures each benchmark's
- * per-iteration real time so the run lands in BENCH_micro_latency.json.
+ * per-repetition real time (ns/iteration) so the run lands in
+ * BENCH_micro_latency.json with mean/p50/p99, not just a mean.
+ * Aggregate rows google-benchmark synthesizes from the repetitions
+ * (mean/median/stddev) are skipped — we summarize the raw samples
+ * ourselves through the shared LatencySummary schema.
  */
 class CapturingReporter : public benchmark::ConsoleReporter
 {
   public:
-    struct Row
+    struct Samples
     {
         std::string name;
-        double nsPerIteration;
+        std::vector<double> nsPerIteration; ///< one per repetition
     };
 
     void ReportRuns(const std::vector<Run> &runs) override
     {
         for (const Run &run : runs) {
-            if (run.error_occurred)
+            if (run.error_occurred ||
+                run.run_type == Run::RT_Aggregate) {
                 continue;
-            rows.push_back({run.benchmark_name(),
-                            run.real_accumulated_time /
-                                static_cast<double>(run.iterations) *
-                                1e9});
+            }
+            const double ns = run.real_accumulated_time /
+                static_cast<double>(run.iterations) * 1e9;
+            // Strip the "/repeats:N" suffix so rows keep the bare
+            // benchmark name across repetition-count changes.
+            std::string name = run.benchmark_name();
+            name = name.substr(0, name.find('/'));
+            samplesFor(name).nsPerIteration.push_back(ns);
         }
         ConsoleReporter::ReportRuns(runs);
     }
 
-    std::vector<Row> rows;
+    std::vector<Samples> benchmarks; ///< registration order
+
+  private:
+    Samples &samplesFor(const std::string &name)
+    {
+        for (auto &s : benchmarks)
+            if (s.name == name)
+                return s;
+        benchmarks.push_back({name, {}});
+        return benchmarks.back();
+    }
 };
 
 } // namespace
@@ -198,6 +247,7 @@ main(int argc, char **argv)
     argc = kept;
 
     boreas::bench::BenchReport report("micro_latency");
+    report.predictEngine("flat");
     if (!g_workload_spec.empty())
         report.workloadSource(g_workload_spec);
     benchmark::Initialize(&argc, argv);
@@ -209,23 +259,29 @@ main(int argc, char **argv)
     benchmark::Shutdown();
 
     TextTable table;
-    table.setHeader({"benchmark", "real ns/iter"});
+    table.setHeader(
+        {"benchmark", "mean ns/iter", "p50 ns/iter", "p99 ns/iter"});
     double predict_ns = 0.0, decide_ns = 0.0;
-    for (const auto &row : reporter.rows) {
-        table.addRow({row.name, TextTable::num(row.nsPerIteration, 1)});
-        if (row.name == "BM_GBTPrediction")
-            predict_ns = row.nsPerIteration;
-        else if (row.name == "BM_ControllerDecision")
-            decide_ns = row.nsPerIteration;
+    for (const auto &b : reporter.benchmarks) {
+        const boreas::bench::LatencySummary s =
+            boreas::bench::summarizeLatency(b.nsPerIteration);
+        table.addRow({b.name, TextTable::num(s.meanNs, 1),
+                      TextTable::num(s.p50Ns, 1),
+                      TextTable::num(s.p99Ns, 1)});
+        report.latency(b.name, s);
+        if (b.name == "BM_FlatGBTPrediction")
+            predict_ns = s.p50Ns;
+        else if (b.name == "BM_ControllerDecision")
+            decide_ns = s.p50Ns;
     }
     report.addTable("micro_latency", table);
     if (predict_ns > 0.0) {
-        report.comparison("GBT prediction latency [ns]",
+        report.comparison("GBT prediction latency p50 [ns]",
                           "~1000 serial ops (Sec. V-E)",
                           TextTable::num(predict_ns, 1));
     }
     if (decide_ns > 0.0) {
-        report.comparison("controller decision vs 960 us budget",
+        report.comparison("controller decision p50 vs 960 us budget",
                           "well under 960000 ns",
                           TextTable::num(decide_ns, 1));
     }

@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "common/stats.hh"
 #include "harness.hh"
 #include "obs/trace.hh"
 
@@ -30,6 +31,17 @@ scaleName(Scale scale)
 }
 
 } // namespace
+
+LatencySummary
+summarizeLatency(const std::vector<double> &samples_ns)
+{
+    LatencySummary s;
+    s.samples = samples_ns.size();
+    s.meanNs = mean(samples_ns);
+    s.p50Ns = percentile(samples_ns, 50.0);
+    s.p99Ns = percentile(samples_ns, 99.0);
+    return s;
+}
 
 BenchReport::BenchReport(std::string id) : id_(std::move(id))
 {
@@ -93,6 +105,12 @@ BenchReport::workloadSource(const std::string &spec_string)
 }
 
 void
+BenchReport::predictEngine(const std::string &name)
+{
+    artifact_.manifest.predictEngine = name;
+}
+
+void
 BenchReport::traceChecksum(uint64_t value)
 {
     artifact_.manifest.traceChecksum = value;
@@ -124,10 +142,35 @@ BenchReport::addSeries(obs::BenchSeries series)
     artifact_.series.push_back(std::move(series));
 }
 
+void
+BenchReport::latency(const std::string &benchmark,
+                     const LatencySummary &summary)
+{
+    if (latency_.columns.empty()) {
+        latency_.name = "latency";
+        latency_.columns = {"benchmark", "samples", "mean_ns",
+                            "p50_ns", "p99_ns"};
+    }
+    std::ostringstream samples, mean_ns, p50, p99;
+    samples << summary.samples;
+    mean_ns.precision(6);
+    mean_ns << summary.meanNs;
+    p50.precision(6);
+    p50 << summary.p50Ns;
+    p99.precision(6);
+    p99 << summary.p99Ns;
+    latency_.rows.push_back({benchmark, samples.str(), mean_ns.str(),
+                             p50.str(), p99.str()});
+}
+
 bool
 BenchReport::write()
 {
     written_ = true;
+    if (!latency_.rows.empty()) {
+        artifact_.series.push_back(latency_);
+        latency_.rows.clear();
+    }
     artifact_.manifest.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t0_)

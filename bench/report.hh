@@ -22,12 +22,29 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/table.hh"
 #include "obs/export.hh"
 
 namespace boreas::bench
 {
+
+/**
+ * The shared per-benchmark latency schema (micro_latency and
+ * gbt_throughput both emit it): sample count plus mean/p50/p99 in
+ * nanoseconds, one row per benchmark in a "latency" series.
+ */
+struct LatencySummary
+{
+    size_t samples = 0;
+    double meanNs = 0.0;
+    double p50Ns = 0.0;
+    double p99Ns = 0.0;
+};
+
+/** Summarize raw per-call (or per-repetition) latency samples, ns. */
+LatencySummary summarizeLatency(const std::vector<double> &samples_ns);
 
 /** Collects one bench run's artifact and writes it on destruction. */
 class BenchReport
@@ -62,6 +79,9 @@ class BenchReport
     /** Record the workload-source spec string the bench ran. */
     void workloadSource(const std::string &spec_string);
 
+    /** Record the GBT inference path ("flat" / "reference"). */
+    void predictEngine(const std::string &name);
+
     /** Record the boreas-trace-v1 checksum recorded/replayed. */
     void traceChecksum(uint64_t value);
 
@@ -76,6 +96,14 @@ class BenchReport
     void addSeries(obs::BenchSeries series);
 
     /**
+     * Accumulate one benchmark's latency summary. All rows land in a
+     * single "latency" series with columns {benchmark, samples,
+     * mean_ns, p50_ns, p99_ns}, emitted at write().
+     */
+    void latency(const std::string &benchmark,
+                 const LatencySummary &summary);
+
+    /**
      * Snapshot metrics, stamp the wall time and write BENCH_<id>.json
      * (and TRACE_<id>.json when tracing). Returns false if a file
      * could not be written. Idempotent; the destructor skips writing
@@ -86,6 +114,7 @@ class BenchReport
   private:
     std::string id_;
     obs::BenchArtifact artifact_;
+    obs::BenchSeries latency_; ///< accumulated latency rows
     std::chrono::steady_clock::time_point t0_;
     bool written_ = false;
     bool tracing_ = false;

@@ -15,6 +15,7 @@ BoreasController::BoreasController(
 {
     boreas_assert(model_ != nullptr && model_->trained(),
                   "BoreasController needs a trained model");
+    flat_ = FlatGBT(*model_);
     boreas_assert(model_->numFeatures() == featureIndices_.size(),
                   "model expects %zu features, got %zu",
                   model_->numFeatures(), featureIndices_.size());
@@ -36,7 +37,7 @@ BoreasController::predictSeverity(const DecisionContext &ctx,
     x.reserve(featureIndices_.size());
     for (size_t idx : featureIndices_)
         x.push_back(full[idx]);
-    return model_->predict(x.data());
+    return flat_.predictOne(x.data());
 }
 
 GHz

@@ -10,6 +10,7 @@
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
+#include "ml/gbt_flat.hh"
 #include "obs/trace.hh"
 
 namespace boreas
@@ -334,15 +335,20 @@ GBTRegressor::train(const Dataset &data, const GBTParams &params)
         }
 
         // Update running predictions with the shrunk tree output
-        // (independent per row; fanned out for large datasets).
+        // (independent per row; fanned out for large datasets). The
+        // freshly grown tree is flattened first: treeLeaf() selects
+        // the same leaf as tree.predict(), so the update is
+        // bit-identical while the descent is branchless.
         {
             obs::ScopedTimer timer("gbt.predict");
+            const FlatGBT flat_tree =
+                FlatGBT::fromSingleTree(tree, nf);
             ThreadPool::global().parallelFor(
                 0, static_cast<int64_t>(n), 4096,
                 [&](int64_t lo, int64_t hi) {
                     for (int64_t i = lo; i < hi; ++i) {
                         pred[i] += params.learningRate *
-                            tree.predict(data.row(i));
+                            flat_tree.treeLeaf(0, data.row(i));
                     }
                 });
         }
@@ -395,14 +401,11 @@ GBTRegressor::predictAll(const Dataset &data) const
     boreas_assert(data.numFeatures() == numFeatures_,
                   "dataset feature count mismatch");
     obs::ScopedTimer timer("gbt.predict");
-    std::vector<double> out(data.numRows());
-    ThreadPool::global().parallelFor(
-        0, static_cast<int64_t>(data.numRows()), 4096,
-        [&](int64_t lo, int64_t hi) {
-            for (int64_t r = lo; r < hi; ++r)
-                out[r] = predict(data.row(r));
-        });
-    return out;
+    // Compile-and-batch through the flat engine: compilation is a few
+    // microseconds for paper-sized models, and predictBatch is
+    // bit-identical to the per-row reference walk (DESIGN.md §12).
+    const FlatGBT flat(*this);
+    return flat.predictDataset(data);
 }
 
 double
@@ -480,26 +483,79 @@ GBTRegressor::save(std::ostream &os) const
 void
 GBTRegressor::load(std::istream &is)
 {
+    // Upper bounds on what a genuine model can contain, enforced
+    // BEFORE any container is sized from a stream-supplied count: a
+    // corrupted count must fail with a clean error, never a multi-GB
+    // allocation. The largest paper configuration (fig7, 223 trees of
+    // depth 3) is orders of magnitude below all of them.
+    constexpr size_t kMaxLoadTrees = 1 << 16;
+    constexpr size_t kMaxLoadNodes = 1 << 20;
+    constexpr size_t kMaxLoadFeatures = 1 << 16;
+
     std::string magic;
     int version = 0;
     is >> magic >> version;
-    boreas_assert(magic == "boreas-gbt" && version == 1,
+    boreas_assert(!is.fail() && magic == "boreas-gbt" && version == 1,
                   "bad GBT model header");
     is >> params_.learningRate >> params_.gamma >> params_.maxDepth >>
         params_.nEstimators >> params_.lambda;
     size_t num_trees = 0;
     is >> base_ >> numFeatures_ >> num_trees;
-    boreas_assert(is.good(), "truncated GBT model");
+    // fail(), not good(): a byte-complete file whose last token meets
+    // EOF instead of a trailing newline sets eofbit (good() false)
+    // without failing any extraction, and must load cleanly.
+    boreas_assert(!is.fail(), "truncated GBT model");
+    boreas_assert(std::isfinite(params_.learningRate) &&
+                  std::isfinite(params_.gamma) &&
+                  std::isfinite(params_.lambda) &&
+                  std::isfinite(base_),
+                  "bad GBT model: non-finite header value");
+    boreas_assert(params_.maxDepth >= 1 && params_.maxDepth <= 64,
+                  "bad GBT model: depth %d out of range",
+                  params_.maxDepth);
+    boreas_assert(numFeatures_ >= 1 &&
+                  numFeatures_ <= kMaxLoadFeatures,
+                  "bad GBT model: %zu features out of range",
+                  numFeatures_);
+    boreas_assert(num_trees <= kMaxLoadTrees,
+                  "bad GBT model: tree count %zu out of range",
+                  num_trees);
     trees_.assign(num_trees, {});
     for (auto &tree : trees_) {
         size_t num_nodes = 0;
         is >> num_nodes;
+        boreas_assert(!is.fail(), "truncated GBT model tree");
+        boreas_assert(num_nodes >= 1 && num_nodes <= kMaxLoadNodes,
+                      "bad GBT model: node count %zu out of range",
+                      num_nodes);
         tree.nodes.assign(num_nodes, {});
         for (auto &n : tree.nodes) {
             is >> n.feature >> n.threshold >> n.left >> n.right >>
                 n.value >> n.gain;
         }
-        boreas_assert(is.good(), "truncated GBT model tree");
+        boreas_assert(!is.fail(), "truncated GBT model tree");
+        // Structural validation before anything can call predict():
+        // an out-of-range feature or child index would read out of
+        // bounds inside the descent loop. Children must point strictly
+        // forward (the grower appends them after their parent), which
+        // also guarantees every descent terminates.
+        const int n_nodes = static_cast<int>(num_nodes);
+        for (int i = 0; i < n_nodes; ++i) {
+            const GBTNode &n = tree.nodes[i];
+            boreas_assert(std::isfinite(n.value) &&
+                          std::isfinite(n.threshold),
+                          "bad GBT model: non-finite node %d", i);
+            if (n.feature < 0)
+                continue; // leaf: child links unused
+            boreas_assert(n.feature <
+                          static_cast<int>(numFeatures_),
+                          "bad GBT model: node %d feature %d outside "
+                          "%zu features", i, n.feature, numFeatures_);
+            boreas_assert(n.left > i && n.left < n_nodes &&
+                          n.right > i && n.right < n_nodes,
+                          "bad GBT model: node %d children %d/%d out "
+                          "of range", i, n.left, n.right);
+        }
     }
 }
 

@@ -79,11 +79,17 @@ class GBTRegressor
     double basePrediction() const { return base_; }
     const std::vector<GBTTree> &trees() const { return trees_; }
 
-    /** Predict one row (pointer to numFeatures() doubles). */
+    /**
+     * Predict one row (pointer to numFeatures() doubles) by walking
+     * the explicit child links. This is the reference path the flat
+     * engine (ml/gbt_flat.hh) is differential-tested against; batched
+     * and hot-loop callers should compile a FlatGBT instead.
+     */
     double predict(const double *x) const;
     double predict(const std::vector<double> &x) const;
 
-    /** Predict every row of a dataset (must share the feature order). */
+    /** Predict every row of a dataset (must share the feature order).
+     *  Routed through a FlatGBT compiled on the fly. */
     std::vector<double> predictAll(const Dataset &data) const;
 
     /** Mean squared error on a dataset. */
@@ -113,7 +119,10 @@ class GBTRegressor
     /** Serialize to a simple line-oriented text format. */
     void save(std::ostream &os) const;
 
-    /** Deserialize; panics on malformed input. */
+    /** Deserialize; panics with a clean error on malformed input
+     *  (counts and node indices are validated before use, so a
+     *  corrupt file cannot trigger a giant allocation or leave a
+     *  model whose predict() reads out of bounds). */
     void load(std::istream &is);
 
   private:

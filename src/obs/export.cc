@@ -126,6 +126,9 @@ emitManifest(std::ostream &os, const RunManifest &m)
     if (!m.workloadSource.empty())
         os << "    \"workload_source\": \"" << escape(m.workloadSource)
            << "\",\n";
+    if (!m.predictEngine.empty())
+        os << "    \"predict_engine\": \"" << escape(m.predictEngine)
+           << "\",\n";
     if (m.hasTraceChecksum)
         os << "    \"trace_checksum\": \"" << hexString(m.traceChecksum)
            << "\",\n";

@@ -38,6 +38,12 @@ struct RunManifest
      */
     std::string workloadSource;
     /**
+     * GBT inference path the run measured ("flat" for the batched
+     * SoA engine, "reference" for the pointer-chasing tree walk); ""
+     * for benches that never serve severity predictions.
+     */
+    std::string predictEngine;
+    /**
      * boreas-trace-v1 payload checksum when the run recorded or
      * replayed a trace (valid when hasTraceChecksum).
      */

@@ -1,0 +1,25 @@
+// Fixture: walking GBT trees outside src/ml fires [flat-gbt-predict];
+// the allow() marker suppresses a justified structural use. Not
+// compiled.
+
+#include <cstddef>
+#include <vector>
+
+struct FixtureModel
+{
+    const std::vector<int> &trees() const { return trees_; }
+    std::vector<int> trees_;
+};
+
+double
+fixtureTreeWalk(const FixtureModel &model, const double *x)
+{
+    double acc = 0.0;
+    const GBTTree *scratch = nullptr;
+    for (size_t t = 0; t < model.trees_.size(); ++t)
+        acc += static_cast<double>(model.trees()[t]) + x[0];
+
+    // Structural audit, no predictions. boreas-lint: allow(flat-gbt-predict)
+    acc += static_cast<double>(model.trees().at(0));
+    return acc + (scratch != nullptr ? 1.0 : 0.0);
+}

@@ -214,11 +214,114 @@ TEST(GBT, SaveLoadRoundTripPredictsIdentically)
                          model.predict(train.row(r)));
 }
 
+TEST(GBT, LoadAcceptsFileWithoutTrailingNewline)
+{
+    // A byte-complete model whose last token meets EOF (no trailing
+    // newline) sets eofbit on the final extraction; load() must treat
+    // that as benign EOF, not truncation.
+    const Dataset train = linearData(300, 0.1, 27);
+    GBTRegressor model;
+    model.train(train, GBTParams{.nEstimators = 10});
+
+    std::stringstream buf;
+    model.save(buf);
+    std::string text = buf.str();
+    while (!text.empty() &&
+           (text.back() == '\n' || text.back() == ' '))
+        text.pop_back();
+
+    std::stringstream chopped(text);
+    GBTRegressor loaded;
+    loaded.load(chopped);
+    EXPECT_EQ(loaded.numTrees(), model.numTrees());
+    for (size_t r = 0; r < 50; ++r)
+        EXPECT_DOUBLE_EQ(loaded.predict(train.row(r)),
+                         model.predict(train.row(r)));
+}
+
 TEST(GBTDeathTest, LoadRejectsGarbage)
 {
     std::stringstream buf("not-a-model 9");
     GBTRegressor model;
     EXPECT_DEATH(model.load(buf), "bad GBT model");
+}
+
+TEST(GBTDeathTest, LoadRejectsGiantTreeCount)
+{
+    // The count is validated before trees_.assign(): a corrupt value
+    // must die cleanly instead of attempting a multi-GB allocation.
+    std::stringstream buf("boreas-gbt 1\n"
+                          "0.3 0 3 10 1\n"
+                          "0.5 2 99999999999\n");
+    GBTRegressor model;
+    EXPECT_DEATH(model.load(buf), "tree count");
+}
+
+TEST(GBTDeathTest, LoadRejectsGiantNodeCount)
+{
+    std::stringstream buf("boreas-gbt 1\n"
+                          "0.3 0 3 10 1\n"
+                          "0.5 2 1\n"
+                          "99999999999\n");
+    GBTRegressor model;
+    EXPECT_DEATH(model.load(buf), "node count");
+}
+
+TEST(GBTDeathTest, LoadRejectsFeatureOutOfRange)
+{
+    // Node 0 splits on feature 5 of a 2-feature model: accepted, this
+    // model would read out of bounds inside the descent loop.
+    std::stringstream buf("boreas-gbt 1\n"
+                          "0.3 0 3 10 1\n"
+                          "0.5 2 1\n"
+                          "3\n"
+                          "5 0.5 1 2 0 0\n"
+                          "-1 0 -1 -1 1 0\n"
+                          "-1 0 -1 -1 2 0\n");
+    GBTRegressor model;
+    EXPECT_DEATH(model.load(buf), "feature 5 outside");
+}
+
+TEST(GBTDeathTest, LoadRejectsChildIndexOutOfRange)
+{
+    std::stringstream buf("boreas-gbt 1\n"
+                          "0.3 0 3 10 1\n"
+                          "0.5 2 1\n"
+                          "3\n"
+                          "0 0.5 1 7 0 0\n"
+                          "-1 0 -1 -1 1 0\n"
+                          "-1 0 -1 -1 2 0\n");
+    GBTRegressor model;
+    EXPECT_DEATH(model.load(buf), "children");
+}
+
+TEST(GBTDeathTest, LoadRejectsBackwardChildLink)
+{
+    // A self/backward link would make the descent loop spin forever;
+    // children must point strictly past their parent.
+    std::stringstream buf("boreas-gbt 1\n"
+                          "0.3 0 3 10 1\n"
+                          "0.5 2 1\n"
+                          "3\n"
+                          "0 0.5 0 2 0 0\n"
+                          "-1 0 -1 -1 1 0\n"
+                          "-1 0 -1 -1 2 0\n");
+    GBTRegressor model;
+    EXPECT_DEATH(model.load(buf), "children");
+}
+
+TEST(GBTDeathTest, LoadRejectsTruncatedModel)
+{
+    const Dataset train = linearData(300, 0.1, 29);
+    GBTRegressor model;
+    model.train(train, GBTParams{.nEstimators = 10});
+    std::stringstream buf;
+    model.save(buf);
+    const std::string text = buf.str();
+
+    std::stringstream half(text.substr(0, text.size() / 2));
+    GBTRegressor loaded;
+    EXPECT_DEATH(loaded.load(half), "truncated GBT model");
 }
 
 TEST(GBTDeathTest, PredictRejectsWrongWidth)
