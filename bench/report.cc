@@ -111,6 +111,12 @@ BenchReport::predictEngine(const std::string &name)
 }
 
 void
+BenchReport::fleetDies(int dies)
+{
+    artifact_.manifest.fleetDies = dies;
+}
+
+void
 BenchReport::traceChecksum(uint64_t value)
 {
     artifact_.manifest.traceChecksum = value;

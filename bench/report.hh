@@ -82,6 +82,9 @@ class BenchReport
     /** Record the GBT inference path ("flat" / "reference"). */
     void predictEngine(const std::string &name);
 
+    /** Record the fleet size of a src/fleet experiment. */
+    void fleetDies(int dies);
+
     /** Record the boreas-trace-v1 checksum recorded/replayed. */
     void traceChecksum(uint64_t value);
 

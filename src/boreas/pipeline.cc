@@ -382,6 +382,31 @@ SimulationPipeline::runControllerInner(FrequencyController &controller,
 }
 
 RunResult
+SimulationPipeline::continueWithController(FrequencyController &controller,
+                                           GHz *freq, int steps)
+{
+    boreas_assert(source_ != nullptr,
+                  "continueWithController() before start()");
+    boreas_assert(freq != nullptr, "null carried frequency");
+    RunResult result;
+    result.steps.reserve(steps);
+    for (int s = 0; s < steps; ++s) {
+        result.steps.push_back(step(*freq));
+        if ((s + 1) % kStepsPerDecision == 0) {
+            obs::ScopedTimer timer("stage.controller");
+            DecisionContext ctx;
+            ctx.currentFreq = *freq;
+            ctx.counters = &result.steps.back().counters;
+            ctx.sensorReadings = result.steps.back().sensorReadings;
+            ctx.vf = &vf_;
+            *freq = controller.decide(ctx);
+            result.decidedFreqs.push_back(*freq);
+        }
+    }
+    return result;
+}
+
+RunResult
 SimulationPipeline::runWithController(const WorkloadSpec &workload,
                                       uint64_t seed,
                                       FrequencyController &controller,

@@ -189,6 +189,22 @@ class SimulationPipeline
                                 int steps = kTraceSteps);
 
     /**
+     * Advance an already-started run by `steps` telemetry steps under
+     * closed-loop control, without resetting the controller or the
+     * pipeline. *freq carries the operating frequency across calls:
+     * the segment starts there and the last decision is written back,
+     * so chaining segments whose lengths are multiples of
+     * kStepsPerDecision reproduces one long runWithController() step
+     * stream (and runHash) bit for bit. Unlike runWithController()
+     * the controller is also consulted at the segment end — the fleet
+     * epoch barrier adjusts caps between segments, and the carried
+     * frequency must already reflect the die's own policy. Callers
+     * reset() the controller once before the first segment.
+     */
+    RunResult continueWithController(FrequencyController &controller,
+                                     GHz *freq, int steps);
+
+    /**
      * Run with an arbitrary per-decision frequency schedule (one entry
      * per decision period; the last entry persists). Used to generate
      * training trajectories with frequency transitions.

@@ -1,6 +1,7 @@
 #include "common/parallel.hh"
 
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <exception>
 
@@ -74,15 +75,35 @@ ThreadPool::submit(std::function<void()> task)
     cv_.notify_one();
 }
 
+bool
+tryParseThreadCount(const char *text, int *out)
+{
+    if (text == nullptr || *text == '\0')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const long n = std::strtol(text, &end, 10);
+    // Full consumption: strtol stopping early means trailing junk
+    // ("8x") or no digits at all ("x8", " "); errno catches digit
+    // strings outside long's range before the int cast could wrap.
+    if (end == text || *end != '\0' || errno == ERANGE)
+        return false;
+    if (n < 1 || n > kMaxThreadOverride)
+        return false;
+    *out = static_cast<int>(n);
+    return true;
+}
+
 int
 ThreadPool::defaultThreads()
 {
     if (const char *env = std::getenv("BOREAS_THREADS")) {
-        const int n = std::atoi(env);
-        if (n >= 1)
-            return n;
-        boreas_fatal("BOREAS_THREADS must be a positive integer, "
-                     "got '%s'", env);
+        int n = 0;
+        if (!tryParseThreadCount(env, &n)) {
+            boreas_fatal("BOREAS_THREADS must be an integer in "
+                         "[1, %d], got '%s'", kMaxThreadOverride, env);
+        }
+        return n;
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw >= 1 ? static_cast<int>(hw) : 1;

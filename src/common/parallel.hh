@@ -61,8 +61,9 @@ class ThreadPool
     static ThreadPool &global();
 
     /**
-     * Lane count of the global pool: BOREAS_THREADS if set (clamped to
-     * >= 1), else std::thread::hardware_concurrency().
+     * Lane count of the global pool: BOREAS_THREADS if set (validated
+     * via tryParseThreadCount; a malformed value is fatal), else
+     * std::thread::hardware_concurrency().
      */
     static int defaultThreads();
 
@@ -105,6 +106,18 @@ class ThreadPool
  */
 void parallelForEach(int64_t begin, int64_t end, int64_t grain,
                      const std::function<void(int64_t)> &fn);
+
+/** Largest lane count a BOREAS_THREADS override may request. */
+constexpr int kMaxThreadOverride = 4096;
+
+/**
+ * Strict parse of a BOREAS_THREADS-style lane count: the whole string
+ * must be one base-10 integer in [1, kMaxThreadOverride]. Trailing
+ * junk ("8x"), empty strings, overflowing digits and out-of-range
+ * values all fail — std::atoi silently accepted the first two and had
+ * undefined behaviour on the third. On success *out holds the count.
+ */
+bool tryParseThreadCount(const char *text, int *out);
 
 /**
  * A set of independent tasks joined by wait(). Tasks run on the pool;

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * CappedController: wraps any frequency controller and clamps its
+ * decisions to an externally-assigned cap.
+ *
+ * The fleet layer uses this to impose a per-die power budget on top of
+ * the die's own thermal policy: the inner controller (ML, TH, ...)
+ * keeps deciding from its telemetry, and the fleet controller moves
+ * the cap between control epochs. The inner controller still observes
+ * its own (uncapped) decision stream semantics — only the applied
+ * frequency is limited — matching how a firmware power limit sits
+ * below an OS governor.
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/logging.hh"
+#include "control/controller.hh"
+
+namespace boreas
+{
+
+/** Clamps an inner policy's decisions to a movable frequency cap. */
+class CappedController final : public FrequencyController
+{
+  public:
+    CappedController(std::unique_ptr<FrequencyController> inner,
+                     GHz cap = kMaxFrequency)
+        : inner_(std::move(inner)), cap_(cap)
+    {
+        boreas_assert(inner_ != nullptr, "capped controller needs an "
+                                         "inner policy");
+    }
+
+    const char *name() const override { return inner_->name(); }
+
+    void reset() override { inner_->reset(); }
+
+    GHz
+    decide(const DecisionContext &ctx) override
+    {
+        return std::min(inner_->decide(ctx), cap_);
+    }
+
+    /** Move the cap (fleet epoch barrier). Takes effect on the next
+     *  decision; callers clamp any carried frequency themselves. */
+    void setCap(GHz cap) { cap_ = cap; }
+
+    GHz cap() const { return cap_; }
+
+    FrequencyController &inner() { return *inner_; }
+
+  private:
+    std::unique_ptr<FrequencyController> inner_;
+    GHz cap_;
+};
+
+} // namespace boreas

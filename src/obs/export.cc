@@ -134,6 +134,8 @@ emitManifest(std::ostream &os, const RunManifest &m)
            << "\",\n";
     if (m.hasRunHash)
         os << "    \"run_hash\": \"" << hexString(m.runHash) << "\",\n";
+    if (m.fleetDies > 0)
+        os << "    \"fleet_dies\": " << m.fleetDies << ",\n";
     os << "    \"wall_s\": " << m.wallSeconds << ",\n"
        << "    \"config\": {";
     bool first = true;

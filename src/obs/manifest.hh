@@ -49,6 +49,11 @@ struct RunManifest
      */
     uint64_t traceChecksum = 0;
     bool hasTraceChecksum = false;
+    /**
+     * Dies simulated when the run is a fleet-scale experiment
+     * (src/fleet); 0 for single-die benches, which omit the field.
+     */
+    int fleetDies = 0;
     /** Base RNG seed of the run. */
     uint64_t seed = 0;
     /** Pipeline runHash fingerprint (valid when hasRunHash). */

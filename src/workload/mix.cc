@@ -1,5 +1,7 @@
 #include "workload/mix.hh"
 
+#include <cmath>
+
 #include "common/hash.hh"
 #include "common/logging.hh"
 
@@ -12,9 +14,19 @@ namespace
 /** Decorrelates co-scheduled copies of the same program. */
 constexpr uint64_t kMixCoreSalt = 0xc2b2ae3d27d4eb4fULL;
 
-/** Start-offset comparison slack: offsets are step multiples, and
- *  repeated dt accumulation must not flip activation by one ULP. */
+/** Start-offset conversion slack: offsets are step multiples, and the
+ *  offset/dt division must not flip the step index by one ULP. */
 constexpr Seconds kStartEps = 1e-12;
+
+/** First step index at which an offset has elapsed: the smallest s
+ *  with s * dt >= offset - kStartEps. */
+int64_t
+offsetToStartStep(Seconds offset, Seconds dt)
+{
+    if (offset <= kStartEps)
+        return 0;
+    return static_cast<int64_t>(std::ceil((offset - kStartEps) / dt));
+}
 
 } // namespace
 
@@ -38,7 +50,9 @@ MixSource::MixSource(std::string name, std::vector<MixProgram> programs)
 void
 MixSource::reset(uint64_t seed)
 {
-    elapsed_ = 0.0;
+    stepIndex_ = 0;
+    stepLength_ = 0.0;
+    startSteps_.assign(programs_.size(), 0);
     runs_.clear();
     runs_.reserve(programs_.size());
     for (size_t i = 0; i < programs_.size(); ++i)
@@ -49,7 +63,15 @@ MixSource::reset(uint64_t seed)
 bool
 MixSource::started(int core) const
 {
-    return elapsed_ >= programs_[core].startOffset - kStartEps;
+    const Seconds offset = programs_[core].startOffset;
+    if (offset <= kStartEps)
+        return true;
+    // Before the first advance() the step length is unknown, but no
+    // time has elapsed either, so a positive offset cannot have run
+    // out yet.
+    if (stepLength_ <= 0.0)
+        return false;
+    return stepIndex_ >= startSteps_[core];
 }
 
 CoreStimulus
@@ -73,6 +95,21 @@ MixSource::noiseRng(int core)
 void
 MixSource::advance(Seconds dt)
 {
+    boreas_assert(dt > 0.0, "mix '%s' advance by dt=%g", name_.c_str(),
+                  dt);
+    if (stepLength_ <= 0.0) {
+        stepLength_ = dt;
+        for (size_t i = 0; i < programs_.size(); ++i)
+            startSteps_[i] =
+                offsetToStartStep(programs_[i].startOffset, dt);
+    } else {
+        // Offsets were converted against the first dt; a varying step
+        // length would silently invalidate the activation schedule.
+        boreas_assert(std::abs(dt - stepLength_) <=
+                          1e-12 * stepLength_,
+                      "mix '%s' step length changed mid-run "
+                      "(%g -> %g)", name_.c_str(), stepLength_, dt);
+    }
     // Programs only consume workload time once they have started, so
     // a staggered program begins at its own phase 0 regardless of the
     // offset — and the stagger cannot shift sibling noise streams.
@@ -80,7 +117,7 @@ MixSource::advance(Seconds dt)
         if (started(static_cast<int>(i)))
             runs_[i].advance(dt);
     }
-    elapsed_ += dt;
+    ++stepIndex_;
 }
 
 std::unique_ptr<WorkloadSource>

@@ -72,7 +72,16 @@ class MixSource final : public WorkloadSource
     uint64_t groupId_ = 0;
 
     std::vector<WorkloadRun> runs_; ///< empty until reset()
-    Seconds elapsed_ = 0.0;
+    /**
+     * Workload time is counted in whole steps, not accumulated
+     * seconds: `elapsed += dt` drifts by ULPs over millions of steps
+     * and can flip a stagger activation one step early or late.
+     * Start offsets convert to step indices once, on the first
+     * advance() (when dt is known), so activation is exact forever.
+     */
+    int64_t stepIndex_ = 0;
+    Seconds stepLength_ = 0.0; ///< 0 until the first advance()
+    std::vector<int64_t> startSteps_; ///< parallel to programs_
 };
 
 } // namespace boreas

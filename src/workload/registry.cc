@@ -79,32 +79,84 @@ makeSynthetic(const std::string &rest, std::string *error)
     return nullptr;
 }
 
+/** Strict nonnegative double parse for mix option values. */
+bool
+parseNonnegative(const std::string &value, double *out)
+{
+    if (value.empty())
+        return false;
+    char *end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (end != value.c_str() + value.size() || !(v >= 0.0))
+        return false;
+    *out = v;
+    return true;
+}
+
 std::unique_ptr<WorkloadSource>
 makeMix(const std::string &spec_string, const std::string &rest,
         std::string *error)
 {
-    std::string programs_part = rest;
+    // Everything before the first '@' names the programs; each
+    // following '@key=value' is one option. Options compose and may
+    // appear at most once each (rfind('@') used to hard-code exactly
+    // one option, so 'mix:a+b@stagger=1@stagger=2' mis-parsed the
+    // first option as part of a program name).
+    const size_t first_at = rest.find('@');
+    const std::string programs_part = rest.substr(0, first_at);
     Seconds stagger = 0.0;
-    const size_t at = rest.rfind('@');
-    if (at != std::string::npos) {
-        const std::string option = rest.substr(at + 1);
-        constexpr const char *kKey = "stagger=";
-        if (option.rfind(kKey, 0) != 0) {
-            setError(error, "unknown mix option '@" + option +
-                                "' (expected @stagger=<seconds>)");
+    double scale = 1.0;
+    bool have_stagger = false;
+    bool have_scale = false;
+    size_t opt_pos = first_at;
+    while (opt_pos != std::string::npos) {
+        const size_t next = rest.find('@', opt_pos + 1);
+        const std::string option = rest.substr(
+            opt_pos + 1,
+            next == std::string::npos ? std::string::npos
+                                      : next - opt_pos - 1);
+        const size_t eq = option.find('=');
+        const std::string key = option.substr(0, eq);
+        const std::string value =
+            eq == std::string::npos ? "" : option.substr(eq + 1);
+        if (option.empty()) {
+            setError(error, "empty mix option in '" + rest +
+                                "' (dangling '@')");
             return nullptr;
         }
-        const std::string value = option.substr(std::strlen(kKey));
-        char *end = nullptr;
-        stagger = std::strtod(value.c_str(), &end);
-        if (value.empty() || end != value.c_str() + value.size() ||
-            !(stagger >= 0.0)) {
-            setError(error, "bad mix stagger '" + value +
-                                "' (expected a nonnegative number of "
-                                "seconds)");
+        if (key == "stagger") {
+            if (have_stagger) {
+                setError(error, "duplicate mix option 'stagger' in '" +
+                                    rest + "'");
+                return nullptr;
+            }
+            if (!parseNonnegative(value, &stagger)) {
+                setError(error, "bad mix stagger '" + value +
+                                    "' (expected a nonnegative number "
+                                    "of seconds)");
+                return nullptr;
+            }
+            have_stagger = true;
+        } else if (key == "scale") {
+            if (have_scale) {
+                setError(error, "duplicate mix option 'scale' in '" +
+                                    rest + "'");
+                return nullptr;
+            }
+            if (!parseNonnegative(value, &scale) || scale <= 0.0) {
+                setError(error, "bad mix scale '" + value +
+                                    "' (expected a positive intensity "
+                                    "multiplier)");
+                return nullptr;
+            }
+            have_scale = true;
+        } else {
+            setError(error, "unknown mix option '@" + key +
+                                "' (expected @stagger=<seconds> or "
+                                "@scale=<mult>)");
             return nullptr;
         }
-        programs_part = rest.substr(0, at);
+        opt_pos = next;
     }
 
     std::vector<MixProgram> programs;
@@ -125,8 +177,10 @@ makeMix(const std::string &spec_string, const std::string &rest,
                                 "' is not a spec2006 or nas workload");
             return nullptr;
         }
-        programs.push_back(MixProgram{
-            *spec, stagger * static_cast<double>(programs.size())});
+        MixProgram program{
+            *spec, stagger * static_cast<double>(programs.size())};
+        program.spec.thermalScale *= scale;
+        programs.push_back(std::move(program));
         if (plus == std::string::npos)
             break;
         pos = plus + 1;
@@ -225,12 +279,30 @@ workloadSourceGrammar()
     static const std::string kGrammar =
         "  synthetic:spec2006/<name>  one SPEC CPU2006 phase program\n"
         "  synthetic:nas/<name>       one NAS program (e.g. nas/cg.B)\n"
-        "  mix:<a>+<b>[@stagger=<s>]  co-scheduled per-core programs\n"
+        "  mix:<a>+<b>[@stagger=<s>][@scale=<m>]\n"
+        "                             co-scheduled per-core programs\n"
         "  adversarial:<scenario>     powervirus|corehop|ambientramp|"
         "ambientsweep\n"
         "  trace:<path>               replay a boreas-trace-v1 file\n"
         "  <name>                     shorthand for a suite program\n";
     return kGrammar;
+}
+
+std::vector<std::string>
+splitWorkloadSpecList(const std::string &list)
+{
+    std::vector<std::string> out;
+    size_t pos = 0;
+    while (pos <= list.size()) {
+        const size_t comma = list.find(',', pos);
+        out.push_back(list.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return out;
 }
 
 } // namespace boreas

@@ -7,11 +7,13 @@
  *
  *   synthetic:spec2006/<name>   one SPEC CPU2006 phase program
  *   synthetic:nas/<name>        one NAS program (e.g. nas/cg.B)
- *   mix:<a>+<b>+...[@stagger=<seconds>]
+ *   mix:<a>+<b>+...[@stagger=<seconds>][@scale=<mult>]
  *                               co-schedule the named programs on
  *                               cores 0..n-1; program i starts at
  *                               i*stagger (names resolve in spec2006
- *                               first, then nas)
+ *                               first, then nas). Options compose in
+ *                               any order, each at most once; scale
+ *                               multiplies every program's intensity
  *   adversarial:<scenario>      powervirus | corehop | ambientramp |
  *                               ambientsweep
  *   trace:<path>                replay a boreas-trace-v1 file
@@ -28,6 +30,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "workload/source.hh"
 #include "workload/workload.hh"
@@ -56,5 +59,15 @@ makeSyntheticSource(const WorkloadSpec &spec);
 
 /** One-line-per-form usage text for bench --workload help. */
 const std::string &workloadSourceGrammar();
+
+/**
+ * Split a comma-separated list of source specs ("bzip2,mix:a+b,...")
+ * into its entries, preserving order. Empty entries (leading,
+ * trailing or doubled commas) are kept so callers can report them —
+ * the fleet layer maps each entry to a die and must not silently
+ * renumber dies around a typo.
+ */
+std::vector<std::string>
+splitWorkloadSpecList(const std::string &list);
 
 } // namespace boreas

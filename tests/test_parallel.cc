@@ -122,6 +122,53 @@ TEST(ThreadPool, DefaultThreadsHonorsEnvOverride)
     EXPECT_GE(ThreadPool::defaultThreads(), 1);
 }
 
+TEST(ThreadPool, TryParseThreadCountAcceptsWholeIntegersOnly)
+{
+    int n = 0;
+    EXPECT_TRUE(tryParseThreadCount("1", &n));
+    EXPECT_EQ(n, 1);
+    EXPECT_TRUE(tryParseThreadCount("8", &n));
+    EXPECT_EQ(n, 8);
+    EXPECT_TRUE(tryParseThreadCount("4096", &n));
+    EXPECT_EQ(n, kMaxThreadOverride);
+    // strtol skips leading whitespace; full consumption still holds.
+    EXPECT_TRUE(tryParseThreadCount(" 8", &n));
+    EXPECT_EQ(n, 8);
+}
+
+TEST(ThreadPool, TryParseThreadCountRejectsJunkAndOverflow)
+{
+    int n = -1;
+    // Trailing junk: std::atoi silently returned 8 for "8x".
+    EXPECT_FALSE(tryParseThreadCount("8x", &n));
+    EXPECT_FALSE(tryParseThreadCount("8 ", &n));
+    EXPECT_FALSE(tryParseThreadCount("x8", &n));
+    EXPECT_FALSE(tryParseThreadCount("0x8", &n));
+    EXPECT_FALSE(tryParseThreadCount("8.0", &n));
+    // Nothing parsed at all.
+    EXPECT_FALSE(tryParseThreadCount("", &n));
+    EXPECT_FALSE(tryParseThreadCount(" ", &n));
+    EXPECT_FALSE(tryParseThreadCount(nullptr, &n));
+    // Out of the sane range (including values that overflow long,
+    // where std::atoi's behaviour was undefined).
+    EXPECT_FALSE(tryParseThreadCount("0", &n));
+    EXPECT_FALSE(tryParseThreadCount("-4", &n));
+    EXPECT_FALSE(tryParseThreadCount("4097", &n));
+    EXPECT_FALSE(tryParseThreadCount("99999999999999999999999", &n));
+    // A rejected parse never writes the output.
+    EXPECT_EQ(n, -1);
+}
+
+TEST(ThreadPoolDeathTest, DefaultThreadsFatalsOnMalformedEnv)
+{
+    EXPECT_DEATH(
+        {
+            setenv("BOREAS_THREADS", "8x", 1);
+            ThreadPool::defaultThreads();
+        },
+        "BOREAS_THREADS must be an integer");
+}
+
 namespace
 {
 

@@ -110,6 +110,66 @@ TEST(WorkloadRegistry, MixParsesProgramsAndStagger)
     EXPECT_DOUBLE_EQ(mix->programs()[2].startOffset, 2e-3);
 }
 
+TEST(WorkloadRegistry, MixOptionsComposeInAnyOrder)
+{
+    for (const char *spec :
+         {"mix:mcf+cg.B@stagger=1e-3@scale=1.5",
+          "mix:mcf+cg.B@scale=1.5@stagger=1e-3"}) {
+        auto source = makeWorkloadSource(spec);
+        ASSERT_NE(source, nullptr) << spec;
+        auto *mix = dynamic_cast<MixSource *>(source.get());
+        ASSERT_NE(mix, nullptr) << spec;
+        ASSERT_EQ(mix->programs().size(), 2u) << spec;
+        EXPECT_DOUBLE_EQ(mix->programs()[1].startOffset, 1e-3) << spec;
+        // scale multiplies each program's intensity relative to the
+        // registry spec.
+        const WorkloadSpec &base = findWorkload("mcf");
+        EXPECT_DOUBLE_EQ(mix->programs()[0].spec.thermalScale,
+                         base.thermalScale * 1.5)
+            << spec;
+    }
+}
+
+TEST(WorkloadRegistry, MixGrammarEdgeCasesAreRejected)
+{
+    // Each of these mis-parsed (or parsed silently wrong) under the
+    // old rfind('@') single-option parser.
+    const std::vector<std::string> bad = {
+        "mix:mcf+cg.B@",                      // '@' at end
+        "mix:mcf+cg.B@stagger=1e-3@",         // dangling second '@'
+        "mix:mcf+cg.B@@stagger=1e-3",         // empty option
+        "mix:mcf+cg.B@stagger=1e-3@stagger=2e-3", // duplicate
+        "mix:mcf+cg.B@scale=1.5@scale=2",     // duplicate
+        "mix:mcf+cg.B@stagger",               // no value
+        "mix:mcf+cg.B@stagger=",              // empty value
+        "mix:mcf+cg.B@stagger=-1e-3",         // negative
+        "mix:mcf+cg.B@scale=0",               // zero multiplier
+        "mix:mcf+cg.B@turbo=1",               // unknown key
+        "mix:mcf+",                           // '+' at end
+        "mix:+mcf",                           // leading '+'
+        "mix:mcf++cg.B",                      // empty middle program
+    };
+    for (const auto &spec : bad) {
+        std::string error;
+        EXPECT_EQ(tryMakeWorkloadSource(spec, &error), nullptr)
+            << "'" << spec << "' should not parse";
+        EXPECT_FALSE(error.empty()) << "'" << spec << "'";
+    }
+}
+
+TEST(WorkloadRegistry, SplitSpecListPreservesEmptyEntries)
+{
+    using V = std::vector<std::string>;
+    EXPECT_EQ(splitWorkloadSpecList("bzip2"), V({"bzip2"}));
+    EXPECT_EQ(splitWorkloadSpecList("a,mix:b+c@stagger=1e-3,d"),
+              V({"a", "mix:b+c@stagger=1e-3", "d"}));
+    // Empty entries stay visible so the fleet can report the typo
+    // instead of silently renumbering dies.
+    EXPECT_EQ(splitWorkloadSpecList(""), V({""}));
+    EXPECT_EQ(splitWorkloadSpecList("a,,b"), V({"a", "", "b"}));
+    EXPECT_EQ(splitWorkloadSpecList("a,"), V({"a", ""}));
+}
+
 // --- Spec vs. source byte identity -------------------------------------
 
 TEST(WorkloadSource, SyntheticWrapperIsBitIdenticalToSpecRun)
@@ -151,6 +211,34 @@ TEST(WorkloadSource, MixStaggerGatesLateCores)
     }
     EXPECT_TRUE(source->stimulus(0).active);
     EXPECT_TRUE(source->stimulus(1).active);
+}
+
+TEST(WorkloadSource, MixStaggerActivatesExactlyPastAMillionSteps)
+{
+    // A start offset exactly (2^20 + 1) steps out must gate the core
+    // for exactly that many advances. The old `elapsed_ += dt`
+    // accumulator drifts by ULPs over a run this long and could flip
+    // the activation a step early or late; step counting cannot.
+    constexpr int64_t kStartStep = (int64_t{1} << 20) + 1; // 1048577
+    std::vector<MixProgram> programs;
+    programs.push_back({findWorkload("mcf"), 0.0});
+    programs.push_back(
+        {findWorkload("gromacs"),
+         static_cast<Seconds>(kStartStep) * kTelemetryStep});
+    MixSource source("mix:driftcheck", std::move(programs));
+    source.reset(3);
+
+    EXPECT_TRUE(source.stimulus(0).active);
+    for (int64_t step = 1; step < kStartStep; ++step) {
+        source.advance(kTelemetryStep);
+        if (step >= kStartStep - 2) {
+            ASSERT_FALSE(source.stimulus(1).active)
+                << "activated early, at step " << step;
+        }
+    }
+    source.advance(kTelemetryStep); // step kStartStep
+    EXPECT_TRUE(source.stimulus(1).active) << "activated late";
+    EXPECT_TRUE(source.stimulus(0).active);
 }
 
 TEST(WorkloadSource, MixRunsEndToEndWithPerCoreTelemetry)

@@ -46,6 +46,12 @@ layering()
          {"src/common", "src/obs", "src/floorplan", "src/arch",
           "src/workload", "src/power", "src/thermal", "src/sensors",
           "src/hotspot", "src/ml", "src/control"}},
+        // The fleet layer orchestrates whole pipelines, so it sits
+        // above the integration layer and may see everything.
+        {"src/fleet",
+         {"src/common", "src/obs", "src/floorplan", "src/arch",
+          "src/workload", "src/power", "src/thermal", "src/sensors",
+          "src/hotspot", "src/ml", "src/control", "src/boreas"}},
     };
     return kLayering;
 }
